@@ -1,0 +1,127 @@
+// Ablation: equivalence-set partitioning (paper §4.2, §5; TR Appendix A).
+//
+// The paper claims equivalence sets are "instrumental to the reduction of
+// combinatorial complexity": the MILP tracks per-partition integer counts
+// instead of per-machine choices. This bench compiles and solves the same
+// pending queue against
+//   (a) the normal attribute-partitioned cluster (one partition per
+//       (rack, gpu) signature), and
+//   (b) a "shattered" cluster where every node is its own partition
+//       (attr_tag = node id) — the no-equivalence-sets strawman,
+// and reports MILP size and solve latency at several queue depths.
+
+#include <chrono>
+#include <cstdio>
+
+#include "bench/exp_common.h"
+#include "src/compiler/compiler.h"
+#include "src/core/strl_gen.h"
+#include "src/solver/milp.h"
+
+namespace tetrisched {
+namespace {
+
+std::vector<Job> MakeQueue(int jobs) {
+  std::vector<Job> queue;
+  for (int i = 0; i < jobs; ++i) {
+    Job job;
+    job.id = i;
+    job.k = 2 + i % 3;
+    job.actual_runtime = 40 + 13 * (i % 5);
+    job.deadline = 600 + 40 * i;
+    job.slowdown = 1.5;
+    job.slo_class = SloClass::kSloAccepted;
+    job.type = i % 3 == 0   ? JobType::kGpu
+               : i % 3 == 1 ? JobType::kMpi
+                            : JobType::kUnconstrained;
+    queue.push_back(job);
+  }
+  return queue;
+}
+
+Cluster MakeShattered(int racks, int nodes_per_rack, int gpu_racks) {
+  std::vector<NodeSpec> nodes;
+  int id = 0;
+  for (int rack = 0; rack < racks; ++rack) {
+    for (int i = 0; i < nodes_per_rack; ++i) {
+      NodeSpec node;
+      node.rack = rack;
+      node.has_gpu = rack < gpu_racks;
+      node.attr_tag = id++;  // every node its own equivalence class
+      nodes.push_back(node);
+    }
+  }
+  return Cluster(std::move(nodes));
+}
+
+struct Cell {
+  int vars = 0;
+  int constraints = 0;
+  double solve_ms = 0.0;
+  double objective = 0.0;
+};
+
+Cell Measure(const Cluster& cluster, const std::vector<Job>& jobs) {
+  StrlGenerator gen(cluster, {.plan_ahead = 96, .quantum = 8});
+  OptionRegistry registry;
+  std::vector<StrlExpr> exprs;
+  for (const Job& job : jobs) {
+    auto expr = gen.GenerateJobExpr(job, 0, &registry);
+    if (expr.has_value()) {
+      exprs.push_back(std::move(*expr));
+    }
+  }
+  StrlExpr root = Sum(std::move(exprs));
+  TimeGrid grid{.start = 0, .quantum = 8, .num_slices = 12};
+  AvailabilityGrid avail(cluster, grid);
+  CompiledStrl compiled = StrlCompiler(avail).Compile(root);
+
+  Cell cell;
+  cell.vars = compiled.model().num_vars();
+  cell.constraints = compiled.model().num_constraints();
+  MilpOptions options;
+  options.time_limit_seconds = 2.0;
+  auto start = std::chrono::steady_clock::now();
+  MilpResult result = MilpSolver(compiled.model(), options).Solve();
+  cell.solve_ms = std::chrono::duration<double>(
+                      std::chrono::steady_clock::now() - start)
+                      .count() *
+                  1e3;
+  cell.objective = result.objective;
+  return cell;
+}
+
+int Main() {
+  Cluster partitioned = MakeRc80(2);
+  Cluster shattered = MakeShattered(4, 4, 2);
+  PrintHeader("Ablation: equivalence-set partitioning vs per-node variables",
+              "synthetic GS-HET-like queue", partitioned);
+  std::printf("(shattered cluster: every node is its own partition -> %d "
+              "partitions vs %d)\n\n",
+              shattered.num_partitions(), partitioned.num_partitions());
+
+  std::printf("%6s | %22s | %22s | %8s\n", "queue",
+              "equivalence sets", "per-node variables", "speedup");
+  std::printf("%6s | %8s %7s %5s | %8s %7s %5s |\n", "depth", "vars",
+              "constr", "ms", "vars", "constr", "ms");
+  for (int depth : {2, 4, 6, 8}) {
+    std::vector<Job> jobs = MakeQueue(depth);
+    Cell eq = Measure(partitioned, jobs);
+    Cell sh = Measure(shattered, jobs);
+    std::printf("%6d | %8d %7d %5.0f | %8d %7d %5.0f | %6.1fx (obj %.1f vs %.1f)\n",
+                depth, eq.vars, eq.constraints, eq.solve_ms, sh.vars,
+                sh.constraints, sh.solve_ms,
+                sh.solve_ms / std::max(eq.solve_ms, 1e-3), eq.objective,
+                sh.objective);
+  }
+  std::printf("\n(The encodings are value-equivalent; the per-node model pays\n"
+              "in variables, constraints, and solve latency -- and under the\n"
+              "2 s budget it can fail to find the full-value schedule at all,\n"
+              "visible as a lower objective on deep queues.)\n");
+  return 0;
+}
+
+}  // namespace
+}  // namespace tetrisched
+
+int main() { return tetrisched::Main(); }

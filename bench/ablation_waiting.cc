@@ -1,0 +1,111 @@
+// Ablation: waiting policies (paper §3.2.1).
+//
+// "Plan-ahead ... is particularly important for the scheduler to know
+// whether it should wait for preferred resources (in contrast to never
+// waiting [33] or always waiting [41])."
+//
+// This bench instantiates all three philosophies on GS HET:
+//   never wait   -> TetriSched-NP (alsched-like, takes the fallback now)
+//   always wait  -> DelayScheduler with various tolerances (Zaharia et al.)
+//   informed     -> TetriSched (plan-ahead decides per job)
+// plus Rayon/CS for reference, and reports SLO attainment, BE latency, and
+// the fraction of jobs that ran on their preferred resources.
+
+#include <cstdio>
+
+#include "bench/exp_common.h"
+#include "src/baseline/capacity_scheduler.h"
+#include "src/baseline/delay_scheduler.h"
+#include "src/core/scheduler.h"
+
+namespace tetrisched {
+namespace {
+
+struct Row {
+  double total_slo = 0.0;
+  double be_latency = 0.0;
+  double preferred_pct = 0.0;
+};
+
+Row Summarize(const SimMetrics& metrics) {
+  Row row;
+  row.total_slo = 100.0 * metrics.TotalSloAttainment();
+  row.be_latency = metrics.MeanBestEffortLatency();
+  int started = 0;
+  int preferred = 0;
+  for (const JobOutcome& outcome : metrics.outcomes) {
+    if (outcome.started) {
+      ++started;
+      preferred += outcome.preferred ? 1 : 0;
+    }
+  }
+  row.preferred_pct = started > 0 ? 100.0 * preferred / started : 0.0;
+  return row;
+}
+
+int Main() {
+  Cluster cluster = MakeRc80(2);
+  PrintHeader("Ablation: never-wait vs always-wait vs informed plan-ahead",
+              "GS HET", cluster);
+
+  WorkloadParams params;
+  params.kind = WorkloadKind::kGsHet;
+  params.num_jobs = 60;
+  params.slowdown = 2.0;
+  params.slack_min = 1.6;
+  params.slack_max = 3.0;
+  int seeds = SeedsFromEnv(2);
+
+  struct PolicyRow {
+    const char* name;
+    Row totals;
+  };
+  std::vector<PolicyRow> rows = {
+      {"never wait (TetriSched-NP)", {}},
+      {"delay 30s", {}},
+      {"delay 120s", {}},
+      {"informed (TetriSched)", {}},
+      {"Rayon/CS", {}},
+  };
+
+  for (int s = 0; s < seeds; ++s) {
+    params.seed = 2100 + 19 * s;
+    std::vector<Job> jobs = GenerateWorkload(cluster, params);
+    ApplyAdmission(cluster, jobs);
+    auto run = [&](SchedulerPolicy& policy) {
+      Simulator sim(cluster, policy, jobs);
+      return Summarize(sim.Run());
+    };
+    auto add = [](Row& total, const Row& one) {
+      total.total_slo += one.total_slo;
+      total.be_latency += one.be_latency;
+      total.preferred_pct += one.preferred_pct;
+    };
+
+    TetriScheduler np(cluster, TetriSchedConfig::NoPlanAhead());
+    add(rows[0].totals, run(np));
+    DelayScheduler delay30(cluster, {.delay_tolerance = 30});
+    add(rows[1].totals, run(delay30));
+    DelayScheduler delay120(cluster, {.delay_tolerance = 120});
+    add(rows[2].totals, run(delay120));
+    TetriScheduler full(cluster, TetriSchedConfig::Full());
+    add(rows[3].totals, run(full));
+    CapacityScheduler cs(cluster);
+    add(rows[4].totals, run(cs));
+  }
+
+  std::printf("%-28s %10s %12s %12s\n", "policy", "SLO(%)", "BE lat (s)",
+              "preferred(%)");
+  for (PolicyRow& row : rows) {
+    std::printf("%-28s %10s %12s %12s\n", row.name,
+                Fixed(row.totals.total_slo / seeds).c_str(),
+                Fixed(row.totals.be_latency / seeds).c_str(),
+                Fixed(row.totals.preferred_pct / seeds).c_str());
+  }
+  return 0;
+}
+
+}  // namespace
+}  // namespace tetrisched
+
+int main() { return tetrisched::Main(); }

@@ -1,0 +1,35 @@
+// Reproduces paper Fig 6: Rayon/TetriSched vs Rayon/CapacityScheduler on the
+// production-trace-derived GR MIX workload (52% SLO / 48% BE, unconstrained)
+// across runtime estimate error, on the RC256-scaled cluster.
+//
+// Expected shape (paper): TetriSched outperforms at every point; it keeps
+// accepted-SLO attainment high even at -50% (under-estimation), while
+// Rayon/CS collapses there and suffers large best-effort latencies under
+// over-estimation.
+
+#include "bench/exp_common.h"
+
+namespace tetrisched {
+namespace {
+
+int Main() {
+  Cluster cluster = MakeRc256();
+  PrintHeader("Fig 6: estimate-error sweep, TetriSched vs Rayon/CS", "GR MIX",
+              cluster);
+
+  ErrorSweepSpec spec;
+  spec.params.kind = WorkloadKind::kGrMix;
+  spec.params.num_jobs = 100;
+  spec.errors = {-0.5, -0.2, 0.0, 0.2, 0.5, 1.0};
+  spec.policies = {PolicyKind::kRayonCS, PolicyKind::kTetriSched};
+  spec.panels = {Panel::kTotalSlo, Panel::kAcceptedSlo, Panel::kUnreservedSlo,
+                 Panel::kBeLatency};
+  spec.num_seeds = SeedsFromEnv(2);
+  RunAndPrintErrorSweep(cluster, spec);
+  return 0;
+}
+
+}  // namespace
+}  // namespace tetrisched
+
+int main() { return tetrisched::Main(); }

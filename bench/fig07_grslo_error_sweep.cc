@@ -1,0 +1,33 @@
+// Reproduces paper Fig 7: SLO-only production-derived workload (GR SLO) to
+// isolate SLO-job behavior from best-effort interference, across estimate
+// error, on the RC256-scaled cluster.
+//
+// Expected shape (paper): Rayon/TetriSched achieves higher SLO attainment
+// overall and keeps accepted-SLO attainment near 100%.
+
+#include "bench/exp_common.h"
+
+namespace tetrisched {
+namespace {
+
+int Main() {
+  Cluster cluster = MakeRc256();
+  PrintHeader("Fig 7: estimate-error sweep, SLO-only workload", "GR SLO",
+              cluster);
+
+  ErrorSweepSpec spec;
+  spec.params.kind = WorkloadKind::kGrSlo;
+  spec.params.num_jobs = 100;
+  spec.errors = {-0.2, -0.1, 0.0, 0.1, 0.2};
+  spec.policies = {PolicyKind::kRayonCS, PolicyKind::kTetriSched};
+  spec.panels = {Panel::kTotalSlo, Panel::kAcceptedSlo,
+                 Panel::kUnreservedSlo};
+  spec.num_seeds = SeedsFromEnv(2);
+  RunAndPrintErrorSweep(cluster, spec);
+  return 0;
+}
+
+}  // namespace
+}  // namespace tetrisched
+
+int main() { return tetrisched::Main(); }

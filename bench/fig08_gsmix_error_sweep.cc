@@ -1,0 +1,33 @@
+// Reproduces paper Fig 8: the synthetic homogeneous SLO + BE mix (GS MIX) on
+// the smaller RC80-scaled cluster — the sanity check that the small testbed
+// reproduces the Fig 6 trends before the ablation studies.
+//
+// Expected shape (paper): same trends as Fig 6 — TetriSched wins on SLO
+// attainment and best-effort latency. (Known exception in the paper: at -50%
+// TetriSched trades BE latency for SLO attainment by admitting more BE jobs.)
+
+#include "bench/exp_common.h"
+
+namespace tetrisched {
+namespace {
+
+int Main() {
+  Cluster cluster = MakeRc80(/*gpu_racks=*/0);
+  PrintHeader("Fig 8: estimate-error sweep on the small cluster", "GS MIX",
+              cluster);
+
+  ErrorSweepSpec spec;
+  spec.params.kind = WorkloadKind::kGsMix;
+  spec.params.num_jobs = 80;
+  spec.errors = {-0.5, -0.2, 0.0, 0.2, 0.5, 1.0};
+  spec.policies = {PolicyKind::kRayonCS, PolicyKind::kTetriSched};
+  spec.panels = {Panel::kTotalSlo, Panel::kAcceptedSlo, Panel::kBeLatency};
+  spec.num_seeds = SeedsFromEnv(2);
+  RunAndPrintErrorSweep(cluster, spec);
+  return 0;
+}
+
+}  // namespace
+}  // namespace tetrisched
+
+int main() { return tetrisched::Main(); }

@@ -1,0 +1,42 @@
+// Reproduces paper Fig 9: the benefit of soft-constraint (heterogeneity)
+// awareness. Workload GS HET on the RC80-scaled cluster; compares TetriSched,
+// TetriSched-NH (heterogeneity disabled), and Rayon/CS across runtime
+// estimate error.
+//
+// Expected shape (paper): TetriSched >> TetriSched-NH on the heterogeneous
+// mix (2-3x SLO attainment); NH can even drop below Rayon/CS as
+// over-estimation grows, and Rayon/CS best-effort latency is far higher.
+
+#include "bench/exp_common.h"
+
+namespace tetrisched {
+namespace {
+
+int Main() {
+  Cluster cluster = MakeRc80(/*gpu_racks=*/2);
+  PrintHeader(
+      "Fig 9: soft-constraint awareness (TetriSched vs -NH vs Rayon/CS)",
+      "GS HET", cluster);
+
+  ErrorSweepSpec spec;
+  spec.params.kind = WorkloadKind::kGsHet;
+  spec.params.num_jobs = 60;
+  // Heterogeneity must matter for this figure: a stronger off-preference
+  // penalty and tighter deadlines make placement quality decisive.
+  spec.params.slowdown = 2.0;
+  spec.params.slack_min = 1.6;
+  spec.params.slack_max = 3.0;
+  spec.errors = {-0.5, -0.2, 0.0, 0.2, 0.5};
+  spec.policies = {PolicyKind::kRayonCS, PolicyKind::kTetriSched,
+                   PolicyKind::kTetriSchedNH};
+  spec.panels = {Panel::kTotalSlo, Panel::kAcceptedSlo, Panel::kUnreservedSlo,
+                 Panel::kBeLatency};
+  spec.num_seeds = SeedsFromEnv(2);
+  RunAndPrintErrorSweep(cluster, spec);
+  return 0;
+}
+
+}  // namespace
+}  // namespace tetrisched
+
+int main() { return tetrisched::Main(); }

@@ -1,0 +1,76 @@
+// Reproduces paper Fig 11: the benefit of plan-ahead. Sweeps the plan-ahead
+// window (paper: 0, 44, 96, 120, 144 s; 0 == TetriSched-NP == alsched) for
+// both global TetriSched and greedy TetriSched-NG on GS HET, with Rayon/CS
+// as a flat reference.
+//
+// Expected shape (paper): SLO attainment rises steeply with plan-ahead and
+// saturates around ~100 s; with plan-ahead disabled even global scheduling
+// with soft constraints performs poorly on the heterogeneous workload.
+
+#include <cstdio>
+
+#include "bench/exp_common.h"
+
+namespace tetrisched {
+namespace {
+
+int Main() {
+  Cluster cluster = MakeRc80(/*gpu_racks=*/2);
+  PrintHeader("Fig 11: plan-ahead sweep (0 = TetriSched-NP = alsched)",
+              "GS HET", cluster);
+
+  WorkloadParams params;
+  params.kind = WorkloadKind::kGsHet;
+  params.num_jobs = 60;
+  params.slowdown = 2.0;
+  params.slack_min = 1.6;
+  params.slack_max = 3.0;
+  params.estimate_error = 0.0;
+  const int num_seeds = SeedsFromEnv(2);
+
+  // Plan-ahead 8 is a single 8 s quantum == "now only" == NP.
+  const SimDuration plan_aheads[] = {8, 44, 96, 120, 144};
+  const PolicyKind policies[] = {PolicyKind::kTetriSched,
+                                 PolicyKind::kTetriSchedNG};
+
+  // Rayon/CS reference (plan-ahead does not apply to it).
+  ExperimentSpec cs_spec;
+  cs_spec.policy = PolicyKind::kRayonCS;
+  SweepStats cs = RunAveraged(cluster, params, cs_spec, num_seeds);
+
+  SweepStats results[5][2];
+  for (int w = 0; w < 5; ++w) {
+    for (int p = 0; p < 2; ++p) {
+      ExperimentSpec spec;
+      spec.policy = policies[p];
+      spec.plan_ahead = plan_aheads[w];
+      if (plan_aheads[w] <= spec.quantum) {
+        spec.policy = p == 0 ? PolicyKind::kTetriSchedNP : policies[p];
+      }
+      results[w][p] = RunAveraged(cluster, params, spec, num_seeds);
+    }
+  }
+
+  const Panel panels[] = {Panel::kTotalSlo, Panel::kAcceptedSlo,
+                          Panel::kUnreservedSlo, Panel::kBeLatency};
+  char label = 'a';
+  for (Panel panel : panels) {
+    std::printf("\n(%c) %s\n", label++, PanelTitle(panel));
+    std::printf("%14s %14s %14s %14s\n", "plan-ahead(s)", "Rayon/CS",
+                "TetriSched", "TetriSched-NG");
+    for (int w = 0; w < 5; ++w) {
+      std::printf("%14lld %14s %14s %14s\n",
+                  static_cast<long long>(plan_aheads[w] == 8 ? 0
+                                                             : plan_aheads[w]),
+                  Fixed(PanelValue(cs, panel)).c_str(),
+                  Fixed(PanelValue(results[w][0], panel)).c_str(),
+                  Fixed(PanelValue(results[w][1], panel)).c_str());
+    }
+  }
+  return 0;
+}
+
+}  // namespace
+}  // namespace tetrisched
+
+int main() { return tetrisched::Main(); }

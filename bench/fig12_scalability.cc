@@ -1,0 +1,104 @@
+// Reproduces paper Fig 12: scheduler scalability with plan-ahead. Measures
+// (a) mean MILP solver latency and (b) mean cycle latency as functions of
+// the plan-ahead window for global TetriSched and greedy TetriSched-NG, and
+// (c) the latency CDFs at the largest plan-ahead.
+//
+// Expected shape (paper): solver latency grows with plan-ahead for the
+// global policy and dominates cycle latency; the greedy policy is cheaper
+// and its latency can *decrease* with plan-ahead because better schedules
+// shrink the pending queue. Absolute values are smaller than the paper's
+// (scaled cluster + our own B&B solver), but the growth shape holds.
+
+#include <cstdio>
+
+#include "bench/exp_common.h"
+
+namespace tetrisched {
+namespace {
+
+struct LatencyRow {
+  double solver_ms = 0.0;
+  double cycle_ms = 0.0;
+  SampleStats solver_samples;
+  SampleStats cycle_samples;
+  double milp_vars_mean = 0.0;
+  double milp_vars_max = 0.0;
+};
+
+int Main() {
+  Cluster cluster = MakeRc80(/*gpu_racks=*/2);
+  PrintHeader("Fig 12: scalability with plan-ahead (latency per cycle)",
+              "GS HET", cluster);
+
+  WorkloadParams params;
+  params.kind = WorkloadKind::kGsHet;
+  params.num_jobs = 60;
+  params.slowdown = 2.0;
+  params.seed = 1000;
+
+  const SimDuration plan_aheads[] = {8, 44, 96, 120, 144};
+  const PolicyKind policies[] = {PolicyKind::kTetriSched,
+                                 PolicyKind::kTetriSchedNG};
+  LatencyRow rows[5][2];
+
+  for (int w = 0; w < 5; ++w) {
+    for (int p = 0; p < 2; ++p) {
+      ExperimentSpec spec;
+      spec.policy = policies[p];
+      spec.plan_ahead = plan_aheads[w];
+      // Give the solver room so latency reflects problem size, not just the
+      // budget ceiling.
+      spec.milp_time_limit = 0.5;
+      SimMetrics metrics = RunExperiment(cluster, params, spec);
+      rows[w][p].solver_ms = metrics.solver_latency_ms.Mean();
+      rows[w][p].cycle_ms = metrics.cycle_latency_ms.Mean();
+      rows[w][p].solver_samples = metrics.solver_latency_ms;
+      rows[w][p].cycle_samples = metrics.cycle_latency_ms;
+      rows[w][p].milp_vars_mean = metrics.milp_vars.Mean();
+      rows[w][p].milp_vars_max = metrics.milp_vars.Max();
+    }
+  }
+
+  std::printf("\n(a) mean solver latency (ms)\n");
+  std::printf("%14s %14s %14s\n", "plan-ahead(s)", "TetriSched",
+              "TetriSched-NG");
+  for (int w = 0; w < 5; ++w) {
+    std::printf("%14lld %14s %14s\n", static_cast<long long>(plan_aheads[w]),
+                Fixed(rows[w][0].solver_ms, 2).c_str(),
+                Fixed(rows[w][1].solver_ms, 2).c_str());
+  }
+
+  std::printf("\n(b) mean cycle latency (ms)\n");
+  std::printf("%14s %14s %14s\n", "plan-ahead(s)", "TetriSched",
+              "TetriSched-NG");
+  for (int w = 0; w < 5; ++w) {
+    std::printf("%14lld %14s %14s\n", static_cast<long long>(plan_aheads[w]),
+                Fixed(rows[w][0].cycle_ms, 2).c_str(),
+                Fixed(rows[w][1].cycle_ms, 2).c_str());
+  }
+
+  std::printf("\n(c) latency CDF at plan-ahead = 144 s (ms at percentile)\n");
+  std::printf("%6s %16s %16s %18s %18s\n", "pct", "TetriSched cyc",
+              "TetriSched slv", "TetriSched-NG cyc", "TetriSched-NG slv");
+  for (double pct : {10.0, 25.0, 50.0, 75.0, 90.0, 95.0, 99.0, 100.0}) {
+    std::printf("%6.0f %16s %16s %18s %18s\n", pct,
+                Fixed(rows[4][0].cycle_samples.Percentile(pct), 2).c_str(),
+                Fixed(rows[4][0].solver_samples.Percentile(pct), 2).c_str(),
+                Fixed(rows[4][1].cycle_samples.Percentile(pct), 2).c_str(),
+                Fixed(rows[4][1].solver_samples.Percentile(pct), 2).c_str());
+  }
+
+  std::printf("\nMean MILP size (decision variables) at each plan-ahead, "
+              "global policy:\n");
+  for (int w = 0; w < 5; ++w) {
+    std::printf("  plan-ahead %3lld s: %.0f vars/cycle (mean), %.0f max\n",
+                static_cast<long long>(plan_aheads[w]),
+                rows[w][0].milp_vars_mean, rows[w][0].milp_vars_max);
+  }
+  return 0;
+}
+
+}  // namespace
+}  // namespace tetrisched
+
+int main() { return tetrisched::Main(); }

@@ -1,0 +1,144 @@
+// Google-benchmark microbenchmarks for the scheduling pipeline's hot pieces:
+// STRL generation, STRL->MILP compilation, LP relaxation, and full MILP
+// solves at several plan-ahead window sizes. Quantifies the §7.3 claim that
+// MILP size (and hence solver latency) grows with the plan-ahead window, and
+// that warm starts cut solve time.
+
+#include <benchmark/benchmark.h>
+
+#include "src/cluster/availability.h"
+#include "src/compiler/compiler.h"
+#include "src/core/strl_gen.h"
+#include "src/solver/milp.h"
+#include "src/solver/simplex.h"
+
+namespace tetrisched {
+namespace {
+
+// A GS-HET-like pending queue: `jobs` mixed GPU/MPI/unconstrained jobs.
+std::vector<Job> MakeQueue(int jobs) {
+  std::vector<Job> queue;
+  for (int i = 0; i < jobs; ++i) {
+    Job job;
+    job.id = i;
+    job.k = 2 + i % 3;
+    job.actual_runtime = 40 + 13 * (i % 5);
+    job.deadline = 600 + 50 * i;
+    job.slowdown = 1.5;
+    job.slo_class =
+        i % 4 == 3 ? SloClass::kBestEffort : SloClass::kSloAccepted;
+    job.type = i % 3 == 0   ? JobType::kGpu
+               : i % 3 == 1 ? JobType::kMpi
+                            : JobType::kUnconstrained;
+    queue.push_back(job);
+  }
+  return queue;
+}
+
+StrlExpr BuildAggregate(const Cluster& cluster, const StrlGenerator& gen,
+                        const std::vector<Job>& jobs,
+                        OptionRegistry* registry) {
+  std::vector<StrlExpr> exprs;
+  for (const Job& job : jobs) {
+    auto expr = gen.GenerateJobExpr(job, 0, registry);
+    if (expr.has_value()) {
+      exprs.push_back(std::move(*expr));
+    }
+  }
+  return Sum(std::move(exprs));
+}
+
+void BM_StrlGeneration(benchmark::State& state) {
+  Cluster cluster = MakeUniformCluster(4, 4, 2);
+  StrlGenerator gen(cluster, {.plan_ahead = state.range(0), .quantum = 8});
+  std::vector<Job> jobs = MakeQueue(10);
+  for (auto _ : state) {
+    OptionRegistry registry;
+    StrlExpr root = BuildAggregate(cluster, gen, jobs, &registry);
+    benchmark::DoNotOptimize(CountLeaves(root));
+  }
+}
+BENCHMARK(BM_StrlGeneration)->Arg(48)->Arg(96)->Arg(144);
+
+void BM_StrlCompile(benchmark::State& state) {
+  Cluster cluster = MakeUniformCluster(4, 4, 2);
+  SimDuration plan_ahead = state.range(0);
+  StrlGenerator gen(cluster, {.plan_ahead = plan_ahead, .quantum = 8});
+  std::vector<Job> jobs = MakeQueue(10);
+  OptionRegistry registry;
+  StrlExpr root = BuildAggregate(cluster, gen, jobs, &registry);
+  TimeGrid grid{.start = 0, .quantum = 8,
+                .num_slices = static_cast<int>(plan_ahead / 8)};
+  AvailabilityGrid avail(cluster, grid);
+  for (auto _ : state) {
+    CompiledStrl compiled = StrlCompiler(avail).Compile(root);
+    benchmark::DoNotOptimize(compiled.model().num_vars());
+  }
+  state.counters["milp_vars"] = static_cast<double>(
+      StrlCompiler(avail).Compile(root).model().num_vars());
+}
+BENCHMARK(BM_StrlCompile)->Arg(48)->Arg(96)->Arg(144);
+
+void BM_LpRelaxation(benchmark::State& state) {
+  Cluster cluster = MakeUniformCluster(4, 4, 2);
+  SimDuration plan_ahead = state.range(0);
+  StrlGenerator gen(cluster, {.plan_ahead = plan_ahead, .quantum = 8});
+  std::vector<Job> jobs = MakeQueue(10);
+  OptionRegistry registry;
+  StrlExpr root = BuildAggregate(cluster, gen, jobs, &registry);
+  TimeGrid grid{.start = 0, .quantum = 8,
+                .num_slices = static_cast<int>(plan_ahead / 8)};
+  AvailabilityGrid avail(cluster, grid);
+  CompiledStrl compiled = StrlCompiler(avail).Compile(root);
+  for (auto _ : state) {
+    LpSolver lp(compiled.model());
+    LpResult result = lp.Solve();
+    benchmark::DoNotOptimize(result.objective);
+  }
+}
+BENCHMARK(BM_LpRelaxation)->Arg(48)->Arg(96)->Arg(144);
+
+void BM_MilpSolve(benchmark::State& state) {
+  Cluster cluster = MakeUniformCluster(4, 4, 2);
+  SimDuration plan_ahead = state.range(0);
+  StrlGenerator gen(cluster, {.plan_ahead = plan_ahead, .quantum = 8});
+  std::vector<Job> jobs = MakeQueue(8);
+  OptionRegistry registry;
+  StrlExpr root = BuildAggregate(cluster, gen, jobs, &registry);
+  TimeGrid grid{.start = 0, .quantum = 8,
+                .num_slices = static_cast<int>(plan_ahead / 8)};
+  AvailabilityGrid avail(cluster, grid);
+  CompiledStrl compiled = StrlCompiler(avail).Compile(root);
+  MilpOptions options;  // paper defaults: 10% gap
+  options.time_limit_seconds = 2.0;
+  for (auto _ : state) {
+    MilpResult result = MilpSolver(compiled.model(), options).Solve();
+    benchmark::DoNotOptimize(result.objective);
+  }
+}
+BENCHMARK(BM_MilpSolve)->Arg(48)->Arg(96)->Unit(benchmark::kMillisecond);
+
+void BM_MilpSolveWarmStarted(benchmark::State& state) {
+  // Warm start from the previous solve's solution: the §3.2.2 optimization.
+  Cluster cluster = MakeUniformCluster(4, 4, 2);
+  StrlGenerator gen(cluster, {.plan_ahead = 96, .quantum = 8});
+  std::vector<Job> jobs = MakeQueue(8);
+  OptionRegistry registry;
+  StrlExpr root = BuildAggregate(cluster, gen, jobs, &registry);
+  TimeGrid grid{.start = 0, .quantum = 8, .num_slices = 12};
+  AvailabilityGrid avail(cluster, grid);
+  CompiledStrl compiled = StrlCompiler(avail).Compile(root);
+  MilpOptions options;
+  options.time_limit_seconds = 2.0;
+  MilpResult cold = MilpSolver(compiled.model(), options).Solve();
+  for (auto _ : state) {
+    MilpResult warm = MilpSolver(compiled.model(), options).Solve(cold.values);
+    benchmark::DoNotOptimize(warm.objective);
+  }
+}
+BENCHMARK(BM_MilpSolveWarmStarted)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+}  // namespace tetrisched
+
+BENCHMARK_MAIN();

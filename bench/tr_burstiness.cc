@@ -1,0 +1,70 @@
+// TR companion claim (§7.3 footnote to [34]): "TetriSched scales effectively
+// ... across varied cluster loads, inter-arrival burstiness, slowdown,
+// plan-ahead, and workload mixes."
+//
+// This bench sweeps the arrival process from smooth Poisson through
+// increasingly bursty patterns (and a diurnal wave) at constant average
+// load, comparing TetriSched against Rayon/CS on GS HET. Bursts are exactly
+// where plan-ahead matters: a burst floods the pending queue and only global
+// space-time optimization can sequence it without SLO collapse.
+
+#include <cstdio>
+
+#include "bench/exp_common.h"
+
+namespace tetrisched {
+namespace {
+
+int Main() {
+  Cluster cluster = MakeRc80(2);
+  PrintHeader("TR sweep: inter-arrival burstiness at constant load", "GS HET",
+              cluster);
+
+  WorkloadParams params;
+  params.kind = WorkloadKind::kGsHet;
+  params.num_jobs = 60;
+  params.slowdown = 2.0;
+  params.slack_min = 1.6;
+  params.slack_max = 3.0;
+  int seeds = SeedsFromEnv(2);
+
+  struct Shape {
+    const char* name;
+    ArrivalPattern pattern;
+    double burst_factor;
+  };
+  const Shape shapes[] = {
+      {"poisson", ArrivalPattern::kPoisson, 1.0},
+      {"bursty x2", ArrivalPattern::kBursty, 2.0},
+      {"bursty x4", ArrivalPattern::kBursty, 4.0},
+      {"bursty x8", ArrivalPattern::kBursty, 8.0},
+      {"diurnal", ArrivalPattern::kDiurnal, 1.0},
+  };
+
+  std::printf("%12s | %22s | %22s\n", "", "Rayon/CS", "TetriSched");
+  std::printf("%12s | %9s %12s | %9s %12s\n", "arrivals", "SLO(%)",
+              "BE lat (s)", "SLO(%)", "BE lat (s)");
+  for (const Shape& shape : shapes) {
+    params.arrivals = shape.pattern;
+    params.burst_factor = shape.burst_factor;
+
+    ExperimentSpec cs_spec;
+    cs_spec.policy = PolicyKind::kRayonCS;
+    SweepStats cs = RunAveraged(cluster, params, cs_spec, seeds);
+
+    ExperimentSpec tetri_spec;
+    tetri_spec.policy = PolicyKind::kTetriSched;
+    SweepStats tetri = RunAveraged(cluster, params, tetri_spec, seeds);
+
+    std::printf("%12s | %9s %12s | %9s %12s\n", shape.name,
+                Fixed(cs.total_slo).c_str(), Fixed(cs.be_latency).c_str(),
+                Fixed(tetri.total_slo).c_str(),
+                Fixed(tetri.be_latency).c_str());
+  }
+  return 0;
+}
+
+}  // namespace
+}  // namespace tetrisched
+
+int main() { return tetrisched::Main(); }

@@ -1,0 +1,187 @@
+// Command-line experiment runner: one simulated experiment, fully
+// parameterized from flags. The general-purpose front door to the library
+// for ad-hoc exploration:
+//
+//   experiment_runner [--workload=gshet] [--policy=tetrisched]
+//                     [--nodes-per-rack=4] [--racks=4] [--gpu-racks=2]
+//                     [--jobs=60] [--error=0.0] [--plan-ahead=96]
+//                     [--seed=1] [--slowdown=1.5] [--load=1.0]
+//                     [--arrivals=poisson|bursty|diurnal] [--learn]
+//                     [--preemption] [--trace=out.csv] [--timeline]
+//
+// Policies: tetrisched, nh, ng, np, cs, delay<tolerance> (e.g. delay60).
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <fstream>
+#include <memory>
+#include <string>
+
+#include "src/baseline/capacity_scheduler.h"
+#include "src/baseline/delay_scheduler.h"
+#include "src/core/scheduler.h"
+#include "src/sim/simulator.h"
+#include "src/sim/trace.h"
+#include "src/workload/workload.h"
+
+using namespace tetrisched;
+
+namespace {
+
+struct Flags {
+  std::string workload = "gshet";
+  std::string policy = "tetrisched";
+  int racks = 4;
+  int nodes_per_rack = 4;
+  int gpu_racks = 2;
+  int jobs = 60;
+  double error = 0.0;
+  SimDuration plan_ahead = 96;
+  uint64_t seed = 1;
+  double slowdown = 1.5;
+  double load = 1.0;
+  std::string arrivals = "poisson";
+  bool learn = false;
+  bool preemption = false;
+  std::string trace_path;
+  bool timeline = false;
+};
+
+bool ParseFlag(const char* arg, const char* name, std::string* out) {
+  std::string prefix = std::string("--") + name + "=";
+  if (std::strncmp(arg, prefix.c_str(), prefix.size()) == 0) {
+    *out = arg + prefix.size();
+    return true;
+  }
+  return false;
+}
+
+bool ParseFlags(int argc, char** argv, Flags* flags) {
+  for (int i = 1; i < argc; ++i) {
+    std::string value;
+    if (ParseFlag(argv[i], "workload", &value)) {
+      flags->workload = value;
+    } else if (ParseFlag(argv[i], "policy", &value)) {
+      flags->policy = value;
+    } else if (ParseFlag(argv[i], "racks", &value)) {
+      flags->racks = std::atoi(value.c_str());
+    } else if (ParseFlag(argv[i], "nodes-per-rack", &value)) {
+      flags->nodes_per_rack = std::atoi(value.c_str());
+    } else if (ParseFlag(argv[i], "gpu-racks", &value)) {
+      flags->gpu_racks = std::atoi(value.c_str());
+    } else if (ParseFlag(argv[i], "jobs", &value)) {
+      flags->jobs = std::atoi(value.c_str());
+    } else if (ParseFlag(argv[i], "error", &value)) {
+      flags->error = std::atof(value.c_str());
+    } else if (ParseFlag(argv[i], "plan-ahead", &value)) {
+      flags->plan_ahead = std::atoll(value.c_str());
+    } else if (ParseFlag(argv[i], "seed", &value)) {
+      flags->seed = std::strtoull(value.c_str(), nullptr, 10);
+    } else if (ParseFlag(argv[i], "slowdown", &value)) {
+      flags->slowdown = std::atof(value.c_str());
+    } else if (ParseFlag(argv[i], "load", &value)) {
+      flags->load = std::atof(value.c_str());
+    } else if (ParseFlag(argv[i], "arrivals", &value)) {
+      flags->arrivals = value;
+    } else if (ParseFlag(argv[i], "trace", &value)) {
+      flags->trace_path = value;
+    } else if (std::strcmp(argv[i], "--learn") == 0) {
+      flags->learn = true;
+    } else if (std::strcmp(argv[i], "--preemption") == 0) {
+      flags->preemption = true;
+    } else if (std::strcmp(argv[i], "--timeline") == 0) {
+      flags->timeline = true;
+    } else {
+      std::fprintf(stderr, "unknown flag: %s\n", argv[i]);
+      return false;
+    }
+  }
+  return true;
+}
+
+std::unique_ptr<SchedulerPolicy> MakePolicy(const Flags& flags,
+                                            const Cluster& cluster) {
+  if (flags.policy == "cs") {
+    return std::make_unique<CapacityScheduler>(cluster);
+  }
+  if (flags.policy.rfind("delay", 0) == 0) {
+    DelaySchedulerConfig config;
+    if (flags.policy.size() > 5) {
+      config.delay_tolerance = std::atoll(flags.policy.c_str() + 5);
+    }
+    return std::make_unique<DelayScheduler>(cluster, config);
+  }
+  TetriSchedConfig config;
+  if (flags.policy == "nh") {
+    config = TetriSchedConfig::NoHeterogeneity(flags.plan_ahead);
+  } else if (flags.policy == "ng") {
+    config = TetriSchedConfig::NoGlobal(flags.plan_ahead);
+  } else if (flags.policy == "np") {
+    config = TetriSchedConfig::NoPlanAhead();
+  } else {
+    config = TetriSchedConfig::Full(flags.plan_ahead);
+  }
+  config.enable_preemption = flags.preemption;
+  return std::make_unique<TetriScheduler>(cluster, config);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  Flags flags;
+  if (!ParseFlags(argc, argv, &flags)) {
+    return 1;
+  }
+
+  Cluster cluster =
+      MakeUniformCluster(flags.racks, flags.nodes_per_rack, flags.gpu_racks);
+
+  WorkloadParams params;
+  params.kind = flags.workload == "grslo"   ? WorkloadKind::kGrSlo
+                : flags.workload == "grmix" ? WorkloadKind::kGrMix
+                : flags.workload == "gsmix" ? WorkloadKind::kGsMix
+                                            : WorkloadKind::kGsHet;
+  params.num_jobs = flags.jobs;
+  params.estimate_error = flags.error;
+  params.seed = flags.seed;
+  params.slowdown = flags.slowdown;
+  params.target_load = flags.load;
+  params.arrivals = flags.arrivals == "bursty"    ? ArrivalPattern::kBursty
+                    : flags.arrivals == "diurnal" ? ArrivalPattern::kDiurnal
+                                                  : ArrivalPattern::kPoisson;
+
+  std::vector<Job> jobs = GenerateWorkload(cluster, params);
+  int accepted = ApplyAdmission(cluster, jobs);
+  std::printf("workload: %s (%s arrivals), %d reservations accepted\n",
+              DescribeWorkload(jobs).c_str(), ToString(params.arrivals),
+              accepted);
+
+  std::unique_ptr<SchedulerPolicy> policy = MakePolicy(flags, cluster);
+  SimTrace trace;
+  SimConfig sim_config;
+  sim_config.learn_estimates = flags.learn;
+  if (!flags.trace_path.empty() || flags.timeline) {
+    sim_config.trace = &trace;
+  }
+  Simulator sim(cluster, *policy, std::move(jobs), sim_config);
+  SimMetrics metrics = sim.Run();
+
+  std::printf("policy: %s\n%s\n", policy->name(), metrics.Summary().c_str());
+  std::printf("cycle latency: mean %.2f ms, p95 %.2f ms | preemptions %d | "
+              "failure kills %d\n",
+              metrics.cycle_latency_ms.Mean(),
+              metrics.cycle_latency_ms.Percentile(95), metrics.preemptions,
+              metrics.failure_kills);
+  if (flags.timeline) {
+    std::printf("%s\n",
+                trace.RenderUtilizationTimeline(cluster.num_nodes()).c_str());
+  }
+  if (!flags.trace_path.empty()) {
+    std::ofstream out(flags.trace_path);
+    out << trace.ToCsv();
+    std::printf("trace written to %s (%zu events)\n",
+                flags.trace_path.c_str(), trace.size());
+  }
+  return 0;
+}

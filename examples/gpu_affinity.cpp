@@ -1,0 +1,82 @@
+// Plan-ahead in action: when is it worth *waiting* for a GPU?
+//
+// A GPU job arrives while all GPU nodes are busy for another 16 seconds.
+// Running immediately anywhere takes 3x as long as running on GPUs. With
+// plan-ahead, TetriSched compares "slow now" against "fast later" inside one
+// MILP and defers exactly when the math favors it; without plan-ahead
+// (TetriSched-NP / alsched) it can only grab the slow fallback.
+//
+// The example sweeps the job's deadline from relaxed to urgent and shows the
+// scheduler switching from "wait for GPUs" to "start immediately anywhere".
+
+#include <cstdio>
+
+#include "src/core/scheduler.h"
+
+using namespace tetrisched;
+
+namespace {
+
+RunningHold BusyGpus(const Cluster& cluster, SimTime until) {
+  RunningHold hold;
+  hold.job = 999;
+  hold.slo_class = SloClass::kBestEffort;
+  hold.counts[cluster.GpuPartitions()[0]] =
+      cluster.CapacityOf(cluster.GpuPartitions());
+  hold.expected_end = until;
+  return hold;
+}
+
+}  // namespace
+
+int main() {
+  Cluster cluster = MakeUniformCluster(/*racks=*/2, /*nodes_per_rack=*/4,
+                                       /*gpu_racks=*/1);
+  std::printf("Cluster: %d nodes, %d with GPUs. GPUs busy until t=16.\n\n",
+              cluster.num_nodes(), cluster.num_gpu_nodes());
+
+  Job job;
+  job.id = 1;
+  job.type = JobType::kGpu;
+  job.k = 4;
+  job.submit = 0;
+  job.actual_runtime = 40;  // on GPUs; 120 s anywhere else
+  job.slowdown = 3.0;
+  job.wants_reservation = true;
+  job.slo_class = SloClass::kSloAccepted;
+
+  std::printf("%-10s | %-18s | %s\n", "deadline", "with plan-ahead",
+              "without plan-ahead (NP)");
+  std::printf("-----------+--------------------+------------------------\n");
+  for (SimTime deadline : {400, 200, 120, 100, 30}) {
+    job.deadline = deadline;
+
+    auto describe = [&](TetriSchedConfig config) -> std::string {
+      config.milp.rel_gap = 0.0;
+      TetriScheduler scheduler(cluster, config);
+      auto decision =
+          scheduler.OnCycle(0, {&job}, {BusyGpus(cluster, 16)});
+      if (!decision.drop.empty()) {
+        return "drop (SLO hopeless)";
+      }
+      if (decision.start_now.empty()) {
+        return "wait for GPUs";
+      }
+      return decision.start_now[0].preferred_belief ? "start on GPUs now"
+                                                    : "start anywhere (slow)";
+    };
+
+    std::printf("%8lld s | %-18s | %s\n", (long long)deadline,
+                describe(TetriSchedConfig::Full(96)).c_str(),
+                describe(TetriSchedConfig::NoPlanAhead()).c_str());
+  }
+
+  std::printf(
+      "\nThe plan-ahead scheduler sees the GPUs freeing at t=16 and defers\n"
+      "for the fast run (finishing ~t=56). Deciding \"now or never\", NP\n"
+      "settles for the 3x slower fallback (finishing ~t=120) while the\n"
+      "deadline still allows it; once it does not (<120 s), NP is stuck\n"
+      "waiting blindly. And when no option can meet the SLO at all (30 s),\n"
+      "both cull the job instead of wasting cluster time on it.\n");
+  return 0;
+}

@@ -1,0 +1,146 @@
+#include "src/baseline/capacity_scheduler.h"
+
+#include <algorithm>
+#include <cassert>
+#include <chrono>
+
+namespace tetrisched {
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+// A demoted job: accepted SLO whose reservation window expired before it
+// started. It joins the best-effort queue and its deadline is forgotten.
+bool ReservationExpired(const Job& job, SimTime now) {
+  return job.slo_class == SloClass::kSloAccepted && now > job.reservation.end;
+}
+
+bool ReservationActive(const Job& job, SimTime now) {
+  return job.slo_class == SloClass::kSloAccepted &&
+         now >= job.reservation.start && now <= job.reservation.end;
+}
+
+}  // namespace
+
+CapacityScheduler::CapacityScheduler(const Cluster& cluster,
+                                     CapacitySchedulerConfig config)
+    : cluster_(cluster), config_(config) {}
+
+Placement CapacityScheduler::TakeAnywhere(const Job& job,
+                                          std::vector<int>& free) const {
+  Placement placement;
+  placement.job = job.id;
+  // Heterogeneity-unaware: plan with the conservative slow runtime.
+  placement.est_duration = job.EstimatedRuntime(/*preferred=*/false);
+  placement.preferred_belief = job.type == JobType::kUnconstrained;
+  int need = job.k;
+  for (PartitionId p = 0; p < static_cast<PartitionId>(free.size()) && need > 0;
+       ++p) {
+    int take = std::min(need, free[p]);
+    if (take > 0) {
+      placement.counts[p] = take;
+      free[p] -= take;
+      need -= take;
+    }
+  }
+  assert(need == 0);
+  return placement;
+}
+
+CapacityScheduler::Decision CapacityScheduler::OnCycle(
+    SimTime now, const std::vector<const Job*>& pending,
+    const std::vector<RunningHold>& running) {
+  auto cycle_start = Clock::now();
+  Decision decision;
+  decision.stats.pending_count = static_cast<int>(pending.size());
+
+  // Free capacity per partition.
+  std::vector<int> free(cluster_.num_partitions(), 0);
+  for (const Partition& partition : cluster_.partitions()) {
+    free[partition.id] = partition.capacity();
+  }
+  int total_free = cluster_.num_nodes();
+  for (const RunningHold& hold : running) {
+    for (const auto& [partition, count] : hold.counts) {
+      free[partition] -= count;
+      total_free -= count;
+    }
+  }
+
+  // Preemptible running containers, most recent first (cheapest lost work):
+  // anything the reservation system does not *currently* guarantee — BE jobs,
+  // SLO jobs without reservations, and accepted jobs that ran past their
+  // reservation window (under-estimation transfers them to best-effort
+  // treatment, paper S7.1).
+  std::vector<const RunningHold*> preemptible;
+  for (const RunningHold& hold : running) {
+    if (hold.slo_class != SloClass::kSloAccepted ||
+        now > hold.reservation_end) {
+      preemptible.push_back(&hold);
+    }
+  }
+  std::sort(preemptible.begin(), preemptible.end(),
+            [](const RunningHold* a, const RunningHold* b) {
+              return a->start > b->start;
+            });
+  size_t next_victim = 0;
+
+  // 1. Honor active reservations, preempting BE containers when short.
+  std::vector<const Job*> reserved;
+  std::vector<const Job*> best_effort;
+  for (const Job* job : pending) {
+    if (ReservationActive(*job, now)) {
+      reserved.push_back(job);
+    } else if (job->slo_class == SloClass::kSloAccepted &&
+               now < job->reservation.start) {
+      // Reservation not started yet: CS waits for the plan.
+      continue;
+    } else {
+      // BE jobs, SLO w/o reservation, and demoted (expired) accepted jobs
+      // all share the best-effort queue; deadline information is lost.
+      best_effort.push_back(job);
+      (void)ReservationExpired;  // demotion is implicit in this branch
+    }
+  }
+  std::stable_sort(reserved.begin(), reserved.end(),
+                   [](const Job* a, const Job* b) {
+                     return a->reservation.start < b->reservation.start;
+                   });
+  std::stable_sort(best_effort.begin(), best_effort.end(),
+                   [](const Job* a, const Job* b) {
+                     return a->submit < b->submit;
+                   });
+
+  for (const Job* job : reserved) {
+    while (total_free < job->k && config_.enable_preemption &&
+           next_victim < preemptible.size()) {
+      const RunningHold* victim = preemptible[next_victim++];
+      decision.preempt.push_back(victim->job);
+      for (const auto& [partition, count] : victim->counts) {
+        free[partition] += count;
+        total_free += count;
+      }
+    }
+    if (total_free < job->k) {
+      continue;  // cannot honor yet, retry next cycle
+    }
+    decision.start_now.push_back(TakeAnywhere(*job, free));
+    total_free -= job->k;
+  }
+
+  // 2. Fill remaining capacity FIFO from the best-effort queue.
+  for (const Job* job : best_effort) {
+    if (total_free < job->k) {
+      continue;  // strict FIFO would block; CS packs what fits
+    }
+    decision.start_now.push_back(TakeAnywhere(*job, free));
+    total_free -= job->k;
+  }
+
+  decision.stats.scheduled_count = static_cast<int>(decision.start_now.size());
+  decision.stats.cycle_seconds =
+      std::chrono::duration<double>(Clock::now() - cycle_start).count();
+  return decision;
+}
+
+}  // namespace tetrisched

@@ -1,0 +1,52 @@
+// Rayon/CapacityScheduler baseline (paper §6.1, §7.1).
+//
+// Models the mainline YARN stack TetriSched is evaluated against: the Rayon
+// reservation plan is enforced statically by a capacity scheduler that
+//   * starts an accepted SLO job once its reservation interval begins,
+//     preempting running best-effort containers if needed to honor the
+//     guarantee (the paper enables CS container preemption),
+//   * demotes accepted SLO jobs whose reservation expired before they started
+//     into the best-effort queue — losing their deadline information,
+//   * fills remaining capacity FIFO from the best-effort queue (BE jobs, SLO
+//     jobs without reservations, and demoted jobs alike),
+//   * is heterogeneity-unaware: placements take arbitrary free nodes, and
+//     runtime expectations use the conservative slow estimate.
+
+#ifndef TETRISCHED_BASELINE_CAPACITY_SCHEDULER_H_
+#define TETRISCHED_BASELINE_CAPACITY_SCHEDULER_H_
+
+#include <vector>
+
+#include "src/cluster/cluster.h"
+#include "src/core/policy.h"
+
+namespace tetrisched {
+
+struct CapacitySchedulerConfig {
+  bool enable_preemption = true;  // paper: enabled, to enforce guarantees
+};
+
+class CapacityScheduler : public SchedulerPolicy {
+ public:
+  CapacityScheduler(const Cluster& cluster,
+                    CapacitySchedulerConfig config = {});
+
+  Decision OnCycle(SimTime now, const std::vector<const Job*>& pending,
+                   const std::vector<RunningHold>& running) override;
+
+  const char* name() const override { return "Rayon/CS"; }
+
+ private:
+  // Builds a placement drawing `k` nodes from `free` (partition id order),
+  // decrementing `free` in place.
+  Placement TakeAnywhere(const Job& job, std::vector<int>& free) const;
+
+  const Cluster& cluster_;
+  CapacitySchedulerConfig config_;
+  // Jobs the baseline has started, to distinguish preemptible BE containers.
+  std::vector<JobId> running_best_effort_;
+};
+
+}  // namespace tetrisched
+
+#endif  // TETRISCHED_BASELINE_CAPACITY_SCHEDULER_H_

@@ -1,0 +1,183 @@
+#include "src/baseline/delay_scheduler.h"
+
+#include <algorithm>
+#include <cassert>
+#include <chrono>
+
+namespace tetrisched {
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+int QueueRank(const Job& job) {
+  switch (job.slo_class) {
+    case SloClass::kSloAccepted:
+      return 0;
+    case SloClass::kSloUnreserved:
+      return 1;
+    case SloClass::kBestEffort:
+      return 2;
+  }
+  return 2;
+}
+
+}  // namespace
+
+DelayScheduler::DelayScheduler(const Cluster& cluster,
+                               DelaySchedulerConfig config)
+    : cluster_(cluster), config_(config) {}
+
+std::map<PartitionId, int> DelayScheduler::TryPreferred(
+    const Job& job, const std::vector<int>& free) const {
+  std::map<PartitionId, int> counts;
+  auto take_from_set = [&](const PartitionSet& set, int need) {
+    for (PartitionId partition : set) {
+      if (need == 0) {
+        break;
+      }
+      int take = std::min(need, free[partition]);
+      if (take > 0) {
+        counts[partition] = take;
+        need -= take;
+      }
+    }
+    return need == 0;
+  };
+
+  switch (job.type) {
+    case JobType::kUnconstrained: {
+      std::vector<int> scratch = free;
+      int need = job.k;
+      for (PartitionId p = 0; p < static_cast<PartitionId>(scratch.size());
+           ++p) {
+        int take = std::min(need, scratch[p]);
+        if (take > 0) {
+          counts[p] = take;
+          need -= take;
+        }
+      }
+      if (need != 0) {
+        counts.clear();
+      }
+      return counts;
+    }
+    case JobType::kGpu:
+    case JobType::kDataLocal: {
+      PartitionSet preferred = job.type == JobType::kGpu
+                                   ? cluster_.GpuPartitions()
+                                   : job.preferred_partitions;
+      if (!take_from_set(preferred, job.k)) {
+        counts.clear();
+      }
+      return counts;
+    }
+    case JobType::kMpi: {
+      for (RackId rack = 0; rack < cluster_.num_racks(); ++rack) {
+        counts.clear();
+        if (take_from_set(cluster_.RackPartitions(rack), job.k)) {
+          return counts;
+        }
+      }
+      counts.clear();
+      return counts;
+    }
+    case JobType::kAvailability: {
+      int racks = std::min(job.k, cluster_.num_racks());
+      for (RackId rack = 0; rack < racks; ++rack) {
+        if (!take_from_set(cluster_.RackPartitions(rack), 1)) {
+          counts.clear();
+          return counts;
+        }
+      }
+      return counts;
+    }
+  }
+  return counts;
+}
+
+std::map<PartitionId, int> DelayScheduler::TakeAnywhere(
+    const Job& job, std::vector<int>& free) const {
+  std::map<PartitionId, int> counts;
+  int need = job.k;
+  for (PartitionId p = 0; p < static_cast<PartitionId>(free.size()) && need > 0;
+       ++p) {
+    int take = std::min(need, free[p]);
+    if (take > 0) {
+      counts[p] = take;
+      free[p] -= take;
+      need -= take;
+    }
+  }
+  assert(need == 0);
+  return counts;
+}
+
+DelayScheduler::Decision DelayScheduler::OnCycle(
+    SimTime now, const std::vector<const Job*>& pending,
+    const std::vector<RunningHold>& running) {
+  auto cycle_start = Clock::now();
+  Decision decision;
+  decision.stats.pending_count = static_cast<int>(pending.size());
+
+  std::vector<int> free(cluster_.num_partitions(), 0);
+  for (const Partition& partition : cluster_.partitions()) {
+    free[partition.id] = partition.capacity();
+  }
+  int total_free = cluster_.num_nodes();
+  for (const RunningHold& hold : running) {
+    for (const auto& [partition, count] : hold.counts) {
+      free[partition] -= count;
+      total_free -= count;
+    }
+  }
+
+  std::vector<const Job*> ordered(pending.begin(), pending.end());
+  std::stable_sort(ordered.begin(), ordered.end(),
+                   [](const Job* a, const Job* b) {
+                     if (QueueRank(*a) != QueueRank(*b)) {
+                       return QueueRank(*a) < QueueRank(*b);
+                     }
+                     return a->submit < b->submit;
+                   });
+
+  for (const Job* job : ordered) {
+    auto [it, inserted] = first_seen_.try_emplace(job->id, now);
+    SimTime waited = now - it->second;
+
+    int gang = job->type == JobType::kAvailability
+                   ? std::min(job->k, cluster_.num_racks())
+                   : job->k;
+    if (total_free < gang) {
+      continue;  // not enough capacity at all; keep waiting
+    }
+
+    std::map<PartitionId, int> counts = TryPreferred(*job, free);
+    bool preferred = !counts.empty();
+    if (!preferred) {
+      if (waited < config_.delay_tolerance) {
+        continue;  // keep waiting for the preferred placement
+      }
+      counts = TakeAnywhere(*job, free);
+    } else {
+      for (const auto& [partition, count] : counts) {
+        free[partition] -= count;
+      }
+    }
+    total_free -= gang;
+
+    Placement placement;
+    placement.job = job->id;
+    placement.counts = std::move(counts);
+    placement.preferred_belief = preferred;
+    placement.est_duration = job->EstimatedRuntime(preferred);
+    decision.start_now.push_back(std::move(placement));
+    first_seen_.erase(job->id);
+  }
+
+  decision.stats.scheduled_count = static_cast<int>(decision.start_now.size());
+  decision.stats.cycle_seconds =
+      std::chrono::duration<double>(Clock::now() - cycle_start).count();
+  return decision;
+}
+
+}  // namespace tetrisched

@@ -1,0 +1,60 @@
+// Delay-scheduling baseline (Zaharia et al., EuroSys'10 — the paper's
+// "always waiting [41]" reference point in §3.2.1).
+//
+// The paper frames TetriSched's plan-ahead as the informed middle ground
+// between two uninformed extremes:
+//   * never wait (alsched / TetriSched-NP): grab the fallback immediately,
+//   * always wait (delay scheduling): hold out for the preferred placement,
+//     bounded by a fixed tolerance D.
+//
+// This policy implements the classic bounded variant: jobs are served FIFO
+// within the three priority queues; a job is placed on its preferred
+// resources when they are free, otherwise it *waits* — until it has waited
+// `delay_tolerance` seconds, at which point it accepts any placement. It is
+// deadline-blind while waiting (it understands neither runtime estimates nor
+// plan-ahead), which is exactly the weakness TetriSched's informed deferral
+// removes.
+
+#ifndef TETRISCHED_BASELINE_DELAY_SCHEDULER_H_
+#define TETRISCHED_BASELINE_DELAY_SCHEDULER_H_
+
+#include <map>
+#include <vector>
+
+#include "src/cluster/cluster.h"
+#include "src/core/policy.h"
+
+namespace tetrisched {
+
+struct DelaySchedulerConfig {
+  // How long a job may wait for its preferred placement before it accepts
+  // an arbitrary one. 0 degenerates to "never wait".
+  SimDuration delay_tolerance = 60;
+};
+
+class DelayScheduler : public SchedulerPolicy {
+ public:
+  DelayScheduler(const Cluster& cluster, DelaySchedulerConfig config = {});
+
+  Decision OnCycle(SimTime now, const std::vector<const Job*>& pending,
+                   const std::vector<RunningHold>& running) override;
+
+  const char* name() const override { return "DelaySched"; }
+
+ private:
+  // Attempts a preferred placement for `job` given free counts; returns an
+  // empty map when impossible.
+  std::map<PartitionId, int> TryPreferred(const Job& job,
+                                          const std::vector<int>& free) const;
+  std::map<PartitionId, int> TakeAnywhere(const Job& job,
+                                          std::vector<int>& free) const;
+
+  const Cluster& cluster_;
+  DelaySchedulerConfig config_;
+  // First time each job was seen pending (start of its wait clock).
+  std::map<JobId, SimTime> first_seen_;
+};
+
+}  // namespace tetrisched
+
+#endif  // TETRISCHED_BASELINE_DELAY_SCHEDULER_H_

@@ -1,0 +1,60 @@
+#include "src/cluster/availability.h"
+
+#include <algorithm>
+#include <sstream>
+
+namespace tetrisched {
+
+std::pair<int, int> TimeGrid::ClippedSliceRange(SimTime s,
+                                                SimDuration dur) const {
+  SimTime end = s + dur;
+  if (end <= start || s >= horizon_end() || dur <= 0) {
+    return {0, 0};
+  }
+  SimTime clipped_start = std::max(s, start);
+  SimTime clipped_end = std::min(end, horizon_end());
+  int first = static_cast<int>((clipped_start - start) / quantum);
+  int last = static_cast<int>((clipped_end - start + quantum - 1) / quantum);
+  return {first, last};
+}
+
+AvailabilityGrid::AvailabilityGrid(const Cluster& cluster, TimeGrid grid)
+    : grid_(grid) {
+  capacity_.resize(cluster.num_partitions());
+  for (const Partition& partition : cluster.partitions()) {
+    capacity_[partition.id].assign(grid_.num_slices, partition.capacity());
+  }
+}
+
+void AvailabilityGrid::Reduce(PartitionId partition, TimeRange range,
+                              int count) {
+  auto [first, last] = grid_.ClippedSliceRange(range.start, range.length());
+  for (int slice = first; slice < last; ++slice) {
+    capacity_[partition][slice] -= count;
+  }
+}
+
+bool AvailabilityGrid::CanFit(PartitionId partition, TimeRange range,
+                              int count) const {
+  auto [first, last] = grid_.ClippedSliceRange(range.start, range.length());
+  for (int slice = first; slice < last; ++slice) {
+    if (capacity_[partition][slice] < count) {
+      return false;
+    }
+  }
+  return true;
+}
+
+std::string AvailabilityGrid::DebugString() const {
+  std::ostringstream out;
+  for (size_t p = 0; p < capacity_.size(); ++p) {
+    out << "partition " << p << ":";
+    for (int c : capacity_[p]) {
+      out << " " << c;
+    }
+    out << "\n";
+  }
+  return out.str();
+}
+
+}  // namespace tetrisched

@@ -1,0 +1,78 @@
+#include "src/cluster/ledger.h"
+
+#include <cassert>
+
+namespace tetrisched {
+
+NodeLedger::NodeLedger(const Cluster& cluster) : cluster_(cluster) {
+  free_.assign(cluster.num_nodes(), true);
+  free_count_.assign(cluster.num_partitions(), 0);
+  for (const Partition& partition : cluster.partitions()) {
+    free_count_[partition.id] = partition.capacity();
+  }
+  total_free_ = cluster.num_nodes();
+}
+
+std::vector<NodeId> NodeLedger::Acquire(PartitionId partition, int count) {
+  assert(count <= free_count_[partition]);
+  std::vector<NodeId> acquired;
+  acquired.reserve(count);
+  for (NodeId node : cluster_.partition(partition).nodes) {
+    if (static_cast<int>(acquired.size()) == count) {
+      break;
+    }
+    if (free_[node]) {
+      free_[node] = false;
+      acquired.push_back(node);
+    }
+  }
+  assert(static_cast<int>(acquired.size()) == count);
+  free_count_[partition] -= count;
+  total_free_ -= count;
+  return acquired;
+}
+
+std::vector<NodeId> NodeLedger::AcquireAnywhere(int count) {
+  assert(count <= total_free_);
+  std::vector<NodeId> acquired;
+  acquired.reserve(count);
+  for (const Partition& partition : cluster_.partitions()) {
+    int want = count - static_cast<int>(acquired.size());
+    if (want == 0) {
+      break;
+    }
+    int take = std::min(want, free_count_[partition.id]);
+    if (take == 0) {
+      continue;
+    }
+    std::vector<NodeId> got = Acquire(partition.id, take);
+    acquired.insert(acquired.end(), got.begin(), got.end());
+  }
+  assert(static_cast<int>(acquired.size()) == count);
+  return acquired;
+}
+
+void NodeLedger::TakeSpecific(NodeId node) {
+  assert(free_[node]);
+  free_[node] = false;
+  --free_count_[cluster_.partition_of(node)];
+  --total_free_;
+}
+
+void NodeLedger::ReturnSpecific(NodeId node) {
+  assert(!free_[node]);
+  free_[node] = true;
+  ++free_count_[cluster_.partition_of(node)];
+  ++total_free_;
+}
+
+void NodeLedger::Release(const std::vector<NodeId>& nodes) {
+  for (NodeId node : nodes) {
+    assert(!free_[node]);
+    free_[node] = true;
+    ++free_count_[cluster_.partition_of(node)];
+    ++total_free_;
+  }
+}
+
+}  // namespace tetrisched

@@ -1,0 +1,50 @@
+// Node-level allocation ledger used by the simulator.
+//
+// The MILP operates on partition counts; the simulator converts a chosen
+// (partition -> count) allocation into concrete node assignments (the paper's
+// "placement": mapping tasks to machines) and tracks node occupancy.
+
+#ifndef TETRISCHED_CLUSTER_LEDGER_H_
+#define TETRISCHED_CLUSTER_LEDGER_H_
+
+#include <vector>
+
+#include "src/cluster/cluster.h"
+
+namespace tetrisched {
+
+class NodeLedger {
+ public:
+  explicit NodeLedger(const Cluster& cluster);
+
+  int free_in_partition(PartitionId partition) const {
+    return free_count_[partition];
+  }
+  int total_free() const { return total_free_; }
+  bool is_free(NodeId node) const { return free_[node]; }
+
+  // Acquires `count` free nodes from `partition` (lowest ids first, for
+  // determinism). Returns the nodes; requires count <= free_in_partition.
+  std::vector<NodeId> Acquire(PartitionId partition, int count);
+
+  // Acquires `count` free nodes from anywhere (partition order). Used by the
+  // heterogeneity-unaware baseline. Requires count <= total_free().
+  std::vector<NodeId> AcquireAnywhere(int count);
+
+  void Release(const std::vector<NodeId>& nodes);
+
+  // Takes one specific free node out of circulation (node failure) /
+  // returns it (recovery). Requires the node to be free / out.
+  void TakeSpecific(NodeId node);
+  void ReturnSpecific(NodeId node);
+
+ private:
+  const Cluster& cluster_;
+  std::vector<bool> free_;
+  std::vector<int> free_count_;  // per partition
+  int total_free_ = 0;
+};
+
+}  // namespace tetrisched
+
+#endif  // TETRISCHED_CLUSTER_LEDGER_H_

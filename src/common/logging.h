@@ -1,0 +1,55 @@
+// Minimal leveled logging for library internals.
+//
+// Libraries log through TETRI_LOG(kLevel) << ... streams; verbosity is
+// controlled globally (default: warnings and errors only) so tests and
+// benches stay quiet unless an experiment opts into tracing. Filtering
+// happens at message flush time, which keeps the macro trivial; the streams
+// are cheap enough for the non-hot paths that log.
+
+#ifndef TETRISCHED_COMMON_LOGGING_H_
+#define TETRISCHED_COMMON_LOGGING_H_
+
+#include <sstream>
+
+namespace tetrisched {
+
+enum class LogLevel : int {
+  kDebug = 0,
+  kInfo = 1,
+  kWarning = 2,
+  kError = 3,
+};
+
+// Global threshold; messages below it are discarded.
+void SetLogLevel(LogLevel level);
+LogLevel GetLogLevel();
+
+namespace log_internal {
+
+class LogMessage {
+ public:
+  LogMessage(LogLevel level, const char* file, int line);
+  ~LogMessage();  // Emits to stderr if level >= threshold.
+
+  LogMessage(const LogMessage&) = delete;
+  LogMessage& operator=(const LogMessage&) = delete;
+
+  std::ostringstream& stream() { return stream_; }
+
+ private:
+  LogLevel level_;
+  const char* file_;
+  int line_;
+  std::ostringstream stream_;
+};
+
+}  // namespace log_internal
+
+#define TETRI_LOG(severity)                                              \
+  ::tetrisched::log_internal::LogMessage(                                \
+      ::tetrisched::LogLevel::severity, __FILE__, __LINE__)              \
+      .stream()
+
+}  // namespace tetrisched
+
+#endif  // TETRISCHED_COMMON_LOGGING_H_

@@ -1,0 +1,23 @@
+#include "src/common/rng.h"
+
+#include <cassert>
+#include <numeric>
+
+namespace tetrisched {
+
+size_t Rng::WeightedIndex(std::span<const double> weights) {
+  assert(!weights.empty());
+  double total = std::accumulate(weights.begin(), weights.end(), 0.0);
+  assert(total > 0.0);
+  double draw = UniformReal(0.0, total);
+  double cumulative = 0.0;
+  for (size_t i = 0; i < weights.size(); ++i) {
+    cumulative += weights[i];
+    if (draw < cumulative) {
+      return i;
+    }
+  }
+  return weights.size() - 1;  // Floating-point slack on the last bucket.
+}
+
+}  // namespace tetrisched

@@ -1,0 +1,79 @@
+#include "src/common/stats.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+#include <cstdio>
+
+namespace tetrisched {
+
+void SampleStats::Add(double x) {
+  samples_.push_back(x);
+  sum_ += x;
+}
+
+double SampleStats::Mean() const {
+  return samples_.empty() ? 0.0 : sum_ / static_cast<double>(samples_.size());
+}
+
+double SampleStats::Min() const {
+  return samples_.empty() ? 0.0
+                          : *std::min_element(samples_.begin(), samples_.end());
+}
+
+double SampleStats::Max() const {
+  return samples_.empty() ? 0.0
+                          : *std::max_element(samples_.begin(), samples_.end());
+}
+
+double SampleStats::Percentile(double p) const {
+  assert(p >= 0.0 && p <= 100.0);
+  if (samples_.empty()) {
+    return 0.0;
+  }
+  std::vector<double> sorted = Sorted();
+  if (sorted.size() == 1) {
+    return sorted[0];
+  }
+  double rank = (p / 100.0) * static_cast<double>(sorted.size() - 1);
+  size_t lo = static_cast<size_t>(std::floor(rank));
+  size_t hi = static_cast<size_t>(std::ceil(rank));
+  double frac = rank - static_cast<double>(lo);
+  return sorted[lo] * (1.0 - frac) + sorted[hi] * frac;
+}
+
+std::vector<double> SampleStats::Sorted() const {
+  std::vector<double> sorted = samples_;
+  std::sort(sorted.begin(), sorted.end());
+  return sorted;
+}
+
+std::vector<std::pair<double, double>> SampleStats::Cdf(
+    size_t max_points) const {
+  std::vector<std::pair<double, double>> points;
+  if (samples_.empty() || max_points == 0) {
+    return points;
+  }
+  std::vector<double> sorted = Sorted();
+  size_t n = sorted.size();
+  size_t step = std::max<size_t>(1, n / max_points);
+  for (size_t i = 0; i < n; i += step) {
+    points.emplace_back(sorted[i],
+                        static_cast<double>(i + 1) / static_cast<double>(n));
+  }
+  if (points.back().second < 1.0) {
+    points.emplace_back(sorted.back(), 1.0);
+  }
+  return points;
+}
+
+std::string FormatPercent(double numerator, double denominator) {
+  if (denominator <= 0.0) {
+    return "n/a";
+  }
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%.1f%%", 100.0 * numerator / denominator);
+  return buf;
+}
+
+}  // namespace tetrisched

@@ -1,0 +1,45 @@
+// Lightweight statistics helpers used by the metrics pipeline and benches.
+
+#ifndef TETRISCHED_COMMON_STATS_H_
+#define TETRISCHED_COMMON_STATS_H_
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+namespace tetrisched {
+
+// Accumulates a stream of samples; supports mean/min/max online and
+// percentiles by sorting a retained copy on demand.
+class SampleStats {
+ public:
+  void Add(double x);
+
+  size_t count() const { return samples_.size(); }
+  bool empty() const { return samples_.empty(); }
+  double sum() const { return sum_; }
+  double Mean() const;
+  double Min() const;
+  double Max() const;
+
+  // p in [0, 100]; linear interpolation between closest ranks.
+  double Percentile(double p) const;
+
+  // Sorted copy of the samples (the empirical CDF support).
+  std::vector<double> Sorted() const;
+
+  // Points (x, F(x)) of the empirical CDF, downsampled to at most
+  // `max_points` evenly spaced quantiles. Used by the Fig-12 CDF bench.
+  std::vector<std::pair<double, double>> Cdf(size_t max_points = 100) const;
+
+ private:
+  std::vector<double> samples_;
+  double sum_ = 0.0;
+};
+
+// Fraction rendered as "NN.N%" (or "n/a" for 0 denominators).
+std::string FormatPercent(double numerator, double denominator);
+
+}  // namespace tetrisched
+
+#endif  // TETRISCHED_COMMON_STATS_H_

@@ -1,0 +1,23 @@
+#include "src/common/time.h"
+
+#include <cstdio>
+
+namespace tetrisched {
+
+std::string FormatSimTime(SimTime t) {
+  if (t == kTimeNever) {
+    return "never";
+  }
+  const char* sign = t < 0 ? "-" : "";
+  if (t < 0) {
+    t = -t;
+  }
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%s%lld:%02lld:%02lld", sign,
+                static_cast<long long>(t / 3600),
+                static_cast<long long>((t / 60) % 60),
+                static_cast<long long>(t % 60));
+  return buf;
+}
+
+}  // namespace tetrisched

@@ -1,0 +1,59 @@
+// Simulated-time primitives shared by every TetriSched module.
+//
+// All scheduling logic runs against a discrete simulated clock measured in
+// integral seconds. The scheduler additionally quantizes the plan-ahead
+// horizon into fixed-width slices; helpers for that quantization live here so
+// the compiler, the STRL generator, and the simulator agree on rounding.
+
+#ifndef TETRISCHED_COMMON_TIME_H_
+#define TETRISCHED_COMMON_TIME_H_
+
+#include <cstdint>
+#include <string>
+
+namespace tetrisched {
+
+// Simulated wall-clock time in seconds since experiment start.
+using SimTime = int64_t;
+
+// Duration in simulated seconds.
+using SimDuration = int64_t;
+
+// Sentinel for "no deadline" / "never".
+inline constexpr SimTime kTimeNever = INT64_MAX;
+
+// A half-open interval [start, end) in simulated time.
+struct TimeRange {
+  SimTime start = 0;
+  SimTime end = 0;
+
+  SimDuration length() const { return end - start; }
+  bool empty() const { return end <= start; }
+  bool contains(SimTime t) const { return t >= start && t < end; }
+  bool overlaps(const TimeRange& other) const {
+    return start < other.end && other.start < end;
+  }
+  bool operator==(const TimeRange& other) const = default;
+};
+
+// Rounds `t` down to a multiple of `quantum` (quantum >= 1).
+constexpr SimTime QuantizeDown(SimTime t, SimDuration quantum) {
+  return (t / quantum) * quantum;
+}
+
+// Rounds `t` up to a multiple of `quantum` (quantum >= 1).
+constexpr SimTime QuantizeUp(SimTime t, SimDuration quantum) {
+  return ((t + quantum - 1) / quantum) * quantum;
+}
+
+// Number of quanta fully or partially covered by a duration.
+constexpr int64_t QuantaCovering(SimDuration d, SimDuration quantum) {
+  return (d + quantum - 1) / quantum;
+}
+
+// Human-readable "h:mm:ss" rendering used by example programs and traces.
+std::string FormatSimTime(SimTime t);
+
+}  // namespace tetrisched
+
+#endif  // TETRISCHED_COMMON_TIME_H_

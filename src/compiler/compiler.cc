@@ -1,0 +1,317 @@
+#include "src/compiler/compiler.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+#include <string>
+
+#include "src/common/logging.h"
+
+namespace tetrisched {
+
+// Implementation backdoor into CompiledStrl's private state; keeps the
+// recursive generator out of the public header.
+struct StrlCompileAccess {
+  using LeafInfo = CompiledStrl::LeafInfo;
+  static MilpModel& model(CompiledStrl& c) { return c.model_; }
+  static std::vector<CompiledStrl::LeafInfo>& leaves(CompiledStrl& c) {
+    return c.leaves_;
+  }
+  static std::map<LeafTag, int>& tags(CompiledStrl& c) {
+    return c.tag_to_leaf_;
+  }
+  static VarId& root(CompiledStrl& c) { return c.root_indicator_; }
+};
+
+namespace {
+
+// Recursive generation context (Algorithm 1's globals).
+struct GenContext {
+  const AvailabilityGrid& availability;
+  CompiledStrl* out;
+  // used[(partition, slice)] accumulates LHS terms for supply constraints.
+  std::map<std::pair<PartitionId, int>, std::vector<LinTerm>> used;
+  std::vector<VarId> indicator_chain;  // enclosing MAX/SUM indicators
+};
+
+// Tightest usable upper bound for a leaf's draw from one partition: the
+// minimum availability across the leaf's active slices (and never above k).
+int PartitionHeadroom(const GenContext& ctx, PartitionId partition,
+                      SimTime start, SimDuration dur, int k) {
+  auto [first, last] =
+      ctx.availability.grid().ClippedSliceRange(start, dur);
+  int headroom = k;
+  for (int slice = first; slice < last; ++slice) {
+    headroom =
+        std::min(headroom, std::max(0, ctx.availability.avail(partition, slice)));
+  }
+  return headroom;
+}
+
+void TrackUsage(GenContext& ctx, PartitionId partition, SimTime start,
+                SimDuration dur, VarId var, double coeff) {
+  auto [first, last] =
+      ctx.availability.grid().ClippedSliceRange(start, dur);
+  for (int slice = first; slice < last; ++slice) {
+    ctx.used[{partition, slice}].push_back({var, coeff});
+  }
+}
+
+// gen(expr, I): emits variables/constraints for `expr` under indicator `I`
+// and returns the objective terms contributed by the subtree.
+std::vector<LinTerm> Gen(GenContext& ctx, const StrlExpr& expr, VarId I);
+
+std::vector<LinTerm> GenLeaf(GenContext& ctx, const StrlExpr& expr, VarId I) {
+  MilpModel& model = StrlCompileAccess::model(*ctx.out);
+  StrlCompileAccess::LeafInfo info;
+  info.tag = expr.tag;
+  info.start = expr.start;
+  info.duration = expr.duration;
+  info.k = expr.k;
+  info.value = expr.value;
+  info.linear = expr.kind == StrlKind::kLnCk;
+  info.indicator = I;
+  info.ancestor_indicators = ctx.indicator_chain;
+
+  // Keep only partitions that can contribute at least one node.
+  std::vector<std::pair<PartitionId, int>> usable;
+  for (PartitionId partition : expr.partitions) {
+    int headroom =
+        PartitionHeadroom(ctx, partition, expr.start, expr.duration, expr.k);
+    if (headroom > 0) {
+      usable.emplace_back(partition, headroom);
+    }
+  }
+
+  std::vector<LinTerm> objective;
+  int total_headroom = 0;
+  for (const auto& [partition, headroom] : usable) {
+    total_headroom += headroom;
+  }
+  if (usable.empty() || total_headroom < (info.linear ? 1 : expr.k)) {
+    // The option cannot be satisfied inside this window: pin I = 0 instead of
+    // emitting an unusable subtree (the paper's expression culling).
+    model.AddConstraint({{I, 1.0}}, ConstraintSense::kLessEqual, 0.0,
+                        "cull_t" + std::to_string(expr.tag));
+    StrlCompileAccess::leaves(*ctx.out).push_back(std::move(info));
+    if (expr.tag != kNoTag) {
+      StrlCompileAccess::tags(*ctx.out)[expr.tag] =
+          static_cast<int>(StrlCompileAccess::leaves(*ctx.out).size()) - 1;
+    }
+    return objective;
+  }
+
+  if (!info.linear && usable.size() == 1) {
+    // Single-partition nCk: P == k * I, no partition variable needed.
+    PartitionId partition = usable[0].first;
+    info.partitions.push_back(partition);
+    info.partition_vars.push_back(-1);
+    TrackUsage(ctx, partition, expr.start, expr.duration, I,
+               static_cast<double>(expr.k));
+    objective.push_back({I, expr.value});
+  } else {
+    std::vector<LinTerm> demand;
+    for (const auto& [partition, headroom] : usable) {
+      VarId p = model.AddIntegerVar(
+          0.0, headroom,
+          "P_t" + std::to_string(expr.tag) + "_p" + std::to_string(partition));
+      info.partitions.push_back(partition);
+      info.partition_vars.push_back(p);
+      TrackUsage(ctx, partition, expr.start, expr.duration, p, 1.0);
+      demand.push_back({p, 1.0});
+    }
+    if (info.linear) {
+      // (Demand) sum P <= k * I; value flows per granted node.
+      demand.push_back({I, -static_cast<double>(expr.k)});
+      model.AddConstraint(std::move(demand), ConstraintSense::kLessEqual, 0.0,
+                          "ldemand_t" + std::to_string(expr.tag));
+      for (size_t i = 0; i < info.partition_vars.size(); ++i) {
+        objective.push_back(
+            {info.partition_vars[i], expr.value / expr.k});
+      }
+    } else {
+      // (Demand) sum P == k * I.
+      demand.push_back({I, -static_cast<double>(expr.k)});
+      model.AddConstraint(std::move(demand), ConstraintSense::kEqual, 0.0,
+                          "demand_t" + std::to_string(expr.tag));
+      objective.push_back({I, expr.value});
+    }
+  }
+
+  StrlCompileAccess::leaves(*ctx.out).push_back(std::move(info));
+  if (expr.tag != kNoTag) {
+    StrlCompileAccess::tags(*ctx.out)[expr.tag] =
+        static_cast<int>(StrlCompileAccess::leaves(*ctx.out).size()) - 1;
+  }
+  return objective;
+}
+
+std::vector<LinTerm> Gen(GenContext& ctx, const StrlExpr& expr, VarId I) {
+  MilpModel& model = StrlCompileAccess::model(*ctx.out);
+  switch (expr.kind) {
+    case StrlKind::kNCk:
+    case StrlKind::kLnCk:
+      return GenLeaf(ctx, expr, I);
+
+    case StrlKind::kMax: {
+      std::vector<LinTerm> objective;
+      std::vector<LinTerm> choice;
+      ctx.indicator_chain.push_back(I);
+      for (const StrlExpr& child : expr.children) {
+        VarId child_i = model.AddBinaryVar();
+        std::vector<LinTerm> child_obj = Gen(ctx, child, child_i);
+        objective.insert(objective.end(), child_obj.begin(), child_obj.end());
+        choice.push_back({child_i, 1.0});
+      }
+      ctx.indicator_chain.pop_back();
+      // At most one child may be chosen (and none if I == 0).
+      choice.push_back({I, -1.0});
+      model.AddConstraint(std::move(choice), ConstraintSense::kLessEqual, 0.0,
+                          "max_choice");
+      return objective;
+    }
+
+    case StrlKind::kSum: {
+      std::vector<LinTerm> objective;
+      std::vector<LinTerm> gate;
+      ctx.indicator_chain.push_back(I);
+      for (const StrlExpr& child : expr.children) {
+        VarId child_i = model.AddBinaryVar();
+        std::vector<LinTerm> child_obj = Gen(ctx, child, child_i);
+        objective.insert(objective.end(), child_obj.begin(), child_obj.end());
+        gate.push_back({child_i, 1.0});
+      }
+      ctx.indicator_chain.pop_back();
+      // Up to n children; all gated off when I == 0.
+      gate.push_back({I, -static_cast<double>(expr.children.size())});
+      model.AddConstraint(std::move(gate), ConstraintSense::kLessEqual, 0.0,
+                          "sum_gate");
+      return objective;
+    }
+
+    case StrlKind::kMin: {
+      // V represents the minimum child value; maximization pushes V up to it.
+      VarId v = model.AddContinuousVar(0.0, kInfinity, "min_v");
+      for (const StrlExpr& child : expr.children) {
+        std::vector<LinTerm> child_obj = Gen(ctx, child, I);
+        // child objective - V >= 0.
+        child_obj.push_back({v, -1.0});
+        model.AddConstraint(std::move(child_obj),
+                            ConstraintSense::kGreaterEqual, 0.0, "min_bound");
+      }
+      return {{v, 1.0}};
+    }
+
+    case StrlKind::kScale: {
+      std::vector<LinTerm> objective = Gen(ctx, expr.children[0], I);
+      for (LinTerm& term : objective) {
+        term.coeff *= expr.scalar;
+      }
+      return objective;
+    }
+
+    case StrlKind::kBarrier: {
+      std::vector<LinTerm> inner = Gen(ctx, expr.children[0], I);
+      // v * I <= f(child).
+      inner.push_back({I, -expr.scalar});
+      model.AddConstraint(std::move(inner), ConstraintSense::kGreaterEqual,
+                          0.0, "barrier");
+      return {{I, expr.scalar}};
+    }
+  }
+  return {};
+}
+
+}  // namespace
+
+StrlCompiler::StrlCompiler(const AvailabilityGrid& availability)
+    : availability_(availability) {}
+
+CompiledStrl StrlCompiler::Compile(const StrlExpr& root) {
+  CompiledStrl out;
+  GenContext ctx{availability_, &out, {}, {}};
+
+  // Free binary root indicator, exactly as in Algorithm 1's genAndSolve: the
+  // optimizer turns the root on whenever positive value is reachable, and a
+  // root that cannot be satisfied (e.g. a culled leaf) simply stays off.
+  VarId root_i = StrlCompileAccess::model(out).AddBinaryVar("root");
+  StrlCompileAccess::root(out) = root_i;
+
+  std::vector<LinTerm> objective = Gen(ctx, root, root_i);
+  for (const LinTerm& term : objective) {
+    StrlCompileAccess::model(out).AddObjectiveTerm(term.var, term.coeff);
+  }
+
+  // (Supply) per partition per slice: usage <= available capacity.
+  for (auto& [key, terms] : ctx.used) {
+    auto [partition, slice] = key;
+    double avail =
+        std::max(0, availability_.avail(partition, slice));
+    StrlCompileAccess::model(out).AddConstraint(std::move(terms), ConstraintSense::kLessEqual,
+                             avail,
+                             "supply_p" + std::to_string(partition) + "_s" +
+                                 std::to_string(slice));
+  }
+  return out;
+}
+
+std::vector<StrlAllocation> CompiledStrl::ExtractAllocations(
+    std::span<const double> values) const {
+  std::vector<StrlAllocation> allocations;
+  for (const LeafInfo& leaf : leaves_) {
+    if (values[leaf.indicator] < 0.5) {
+      continue;
+    }
+    StrlAllocation alloc;
+    alloc.tag = leaf.tag;
+    alloc.start = leaf.start;
+    alloc.duration = leaf.duration;
+    alloc.value = leaf.value;
+    for (size_t i = 0; i < leaf.partitions.size(); ++i) {
+      int count;
+      if (leaf.partition_vars[i] < 0) {
+        count = leaf.k;  // collapsed single-partition leaf
+      } else {
+        count = static_cast<int>(std::lround(values[leaf.partition_vars[i]]));
+      }
+      if (count > 0) {
+        alloc.counts[leaf.partitions[i]] = count;
+      }
+    }
+    if (alloc.counts.empty()) {
+      continue;  // chosen LnCk with zero grant contributes nothing
+    }
+    allocations.push_back(std::move(alloc));
+  }
+  return allocations;
+}
+
+std::vector<double> CompiledStrl::BuildWarmStart(
+    const LeafGrants& grants) const {
+  std::vector<double> values(model_.num_vars(), 0.0);
+  values[root_indicator_] = 1.0;
+  for (const auto& [tag, counts] : grants) {
+    auto it = tag_to_leaf_.find(tag);
+    if (it == tag_to_leaf_.end()) {
+      return {};
+    }
+    const LeafInfo& leaf = leaves_[it->second];
+    values[leaf.indicator] = 1.0;
+    for (VarId ancestor : leaf.ancestor_indicators) {
+      values[ancestor] = 1.0;
+    }
+    for (size_t i = 0; i < leaf.partitions.size(); ++i) {
+      auto count_it = counts.find(leaf.partitions[i]);
+      if (count_it == counts.end()) {
+        continue;
+      }
+      if (leaf.partition_vars[i] >= 0) {
+        values[leaf.partition_vars[i]] =
+            static_cast<double>(count_it->second);
+      }
+    }
+  }
+  return values;
+}
+
+}  // namespace tetrisched

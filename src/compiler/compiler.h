@@ -1,0 +1,108 @@
+// STRL -> MILP compilation (paper §5, Algorithm 1).
+//
+// The compiler walks a STRL expression tree and emits:
+//   * one binary indicator variable per choice-carrying subexpression,
+//   * one integer "partition" variable per (leaf, partition) pair tracking
+//     how many nodes the leaf draws from that equivalence-set partition,
+//   * demand constraints (each chosen nCk leaf receives exactly k nodes),
+//   * choice constraints (MAX picks at most one child, SUM any subset),
+//   * supply constraints (per partition per time slice, usage <= available).
+//
+// Two reductions keep the model small, mirroring the paper's optimizations:
+// leaves whose equivalence set reduces to a single usable partition skip
+// their partition variable (P = k*I), and partitions with zero availability
+// across the leaf's interval are dropped from the leaf entirely.
+//
+// The CompiledStrl result owns the MilpModel plus the bookkeeping needed to
+// translate a solver assignment back into space-time allocations, and to
+// translate the previous cycle's schedule into a warm-start vector.
+
+#ifndef TETRISCHED_COMPILER_COMPILER_H_
+#define TETRISCHED_COMPILER_COMPILER_H_
+
+#include <map>
+#include <span>
+#include <vector>
+
+#include "src/cluster/availability.h"
+#include "src/solver/model.h"
+#include "src/strl/strl.h"
+
+namespace tetrisched {
+
+// One chosen leaf in a solved schedule.
+struct StrlAllocation {
+  LeafTag tag = kNoTag;
+  SimTime start = 0;
+  SimDuration duration = 0;
+  std::map<PartitionId, int> counts;  // partition -> nodes granted
+  double value = 0.0;                 // leaf value
+
+  int total_nodes() const {
+    int total = 0;
+    for (const auto& [partition, count] : counts) {
+      total += count;
+    }
+    return total;
+  }
+};
+
+class CompiledStrl {
+ public:
+  const MilpModel& model() const { return model_; }
+  MilpModel& mutable_model() { return model_; }
+
+  int num_leaves() const { return static_cast<int>(leaves_.size()); }
+
+  // Maps a solver assignment back to the chosen space-time allocations.
+  std::vector<StrlAllocation> ExtractAllocations(
+      std::span<const double> values) const;
+
+  // Builds a full warm-start assignment that grants the given leaves.
+  // Returns an empty vector when a tag is unknown. The result is a *hint*:
+  // the MILP solver independently verifies feasibility and silently drops
+  // infeasible warm starts.
+  std::vector<double> BuildWarmStart(const LeafGrants& grants) const;
+
+ private:
+  friend class StrlCompiler;
+  friend struct StrlCompileAccess;  // implementation backdoor (compiler.cc)
+
+  struct LeafInfo {
+    LeafTag tag = kNoTag;
+    SimTime start = 0;
+    SimDuration duration = 0;
+    int k = 0;
+    double value = 0.0;
+    bool linear = false;  // LnCk
+    VarId indicator = -1;
+    // Parallel arrays: partition id and its P variable (-1 when the leaf
+    // collapsed to a single partition and P == k * indicator).
+    std::vector<PartitionId> partitions;
+    std::vector<VarId> partition_vars;
+    // Indicators of enclosing MAX/SUM nodes (root first) that must be 1 for
+    // this leaf to be chosen; used for warm starts.
+    std::vector<VarId> ancestor_indicators;
+  };
+
+  MilpModel model_;
+  std::vector<LeafInfo> leaves_;
+  std::map<LeafTag, int> tag_to_leaf_;
+  VarId root_indicator_ = -1;
+};
+
+class StrlCompiler {
+ public:
+  // `availability` provides both the time grid and per-(partition, slice)
+  // free capacity; it must outlive Compile().
+  explicit StrlCompiler(const AvailabilityGrid& availability);
+
+  CompiledStrl Compile(const StrlExpr& root);
+
+ private:
+  const AvailabilityGrid& availability_;
+};
+
+}  // namespace tetrisched
+
+#endif  // TETRISCHED_COMPILER_COMPILER_H_

@@ -1,0 +1,59 @@
+#include "src/core/estimator.h"
+
+#include <cmath>
+
+namespace tetrisched {
+namespace {
+
+// Power-of-two gang buckets: 1, 2, 3-4, 5-8, 9-16, ...
+int GangBucket(int k) {
+  int bucket = 0;
+  int bound = 1;
+  while (bound < k) {
+    bound *= 2;
+    ++bucket;
+  }
+  return bucket;
+}
+
+}  // namespace
+
+RuntimeEstimator::RuntimeEstimator(EstimatorOptions options)
+    : options_(options) {}
+
+RuntimeEstimator::ClusterKey RuntimeEstimator::KeyFor(const Job& job,
+                                                      bool preferred) const {
+  ClusterKey key;
+  key.type = job.type;
+  key.gang_bucket = options_.bucket_gang_sizes ? GangBucket(job.k) : job.k;
+  key.preferred = preferred;
+  return key;
+}
+
+void RuntimeEstimator::Observe(const Job& job, bool preferred,
+                               SimDuration runtime) {
+  if (runtime <= 0) {
+    return;
+  }
+  ClusterStats& stats = clusters_[KeyFor(job, preferred)];
+  if (stats.observations == 0) {
+    stats.ema_runtime = static_cast<double>(runtime);
+  } else {
+    stats.ema_runtime = options_.ema_alpha * static_cast<double>(runtime) +
+                        (1.0 - options_.ema_alpha) * stats.ema_runtime;
+  }
+  ++stats.observations;
+  ++total_observations_;
+}
+
+std::optional<SimDuration> RuntimeEstimator::Predict(const Job& job,
+                                                     bool preferred) const {
+  auto it = clusters_.find(KeyFor(job, preferred));
+  if (it == clusters_.end() ||
+      it->second.observations < options_.min_observations) {
+    return std::nullopt;
+  }
+  return static_cast<SimDuration>(std::llround(it->second.ema_runtime));
+}
+
+}  // namespace tetrisched

@@ -1,0 +1,78 @@
+// Learned runtime estimation (the "Perforator" box of the paper's Fig 2).
+//
+// Production schedulers get runtime estimates from tools that observe
+// recurring jobs and regress runtime against job class, gang size, and
+// placement quality [1, 7, 10-12, 38]. The paper treats that machinery as an
+// external input and injects synthetic estimate error; this module provides
+// the closest in-repo equivalent so the "estimates learned from clustering
+// similar jobs" future-work path (§4.4) can be exercised end to end:
+//
+//   * jobs are clustered by (type, gang-size bucket, placement quality),
+//   * each cluster keeps an exponentially-weighted mean of observed
+//     runtimes normalized per node-second,
+//   * Predict() returns the cluster's estimate once it has enough
+//     observations, else nullopt (callers fall back to the submitted
+//     estimate).
+//
+// The simulator can run with the estimator in the loop: completions feed
+// Observe(), arrivals consult Predict(), and the injected estimate error
+// decays as clusters converge — reproducing the "robust estimates for
+// recurring production jobs" premise.
+
+#ifndef TETRISCHED_CORE_ESTIMATOR_H_
+#define TETRISCHED_CORE_ESTIMATOR_H_
+
+#include <map>
+#include <optional>
+
+#include "src/common/time.h"
+#include "src/core/job.h"
+
+namespace tetrisched {
+
+struct EstimatorOptions {
+  // Observations required before a cluster's prediction is trusted.
+  int min_observations = 3;
+  // Exponential moving average weight of the newest observation.
+  double ema_alpha = 0.3;
+  // Gang sizes are bucketed by powers of two (1, 2, 3-4, 5-8, ...).
+  bool bucket_gang_sizes = true;
+};
+
+class RuntimeEstimator {
+ public:
+  explicit RuntimeEstimator(EstimatorOptions options = {});
+
+  // Records a completed execution: the job, whether it ran on preferred
+  // resources, and the observed wall-clock runtime.
+  void Observe(const Job& job, bool preferred, SimDuration runtime);
+
+  // Predicted runtime for `job` under the given placement quality, or
+  // nullopt while the matching cluster is still cold.
+  std::optional<SimDuration> Predict(const Job& job, bool preferred) const;
+
+  int num_clusters() const { return static_cast<int>(clusters_.size()); }
+  int total_observations() const { return total_observations_; }
+
+ private:
+  struct ClusterKey {
+    JobType type;
+    int gang_bucket;
+    bool preferred;
+    auto operator<=>(const ClusterKey&) const = default;
+  };
+  struct ClusterStats {
+    int observations = 0;
+    double ema_runtime = 0.0;  // smoothed observed runtime
+  };
+
+  ClusterKey KeyFor(const Job& job, bool preferred) const;
+
+  EstimatorOptions options_;
+  std::map<ClusterKey, ClusterStats> clusters_;
+  int total_observations_ = 0;
+};
+
+}  // namespace tetrisched
+
+#endif  // TETRISCHED_CORE_ESTIMATOR_H_

@@ -1,0 +1,46 @@
+#include "src/core/job.h"
+
+#include <sstream>
+
+namespace tetrisched {
+
+const char* ToString(JobType type) {
+  switch (type) {
+    case JobType::kUnconstrained:
+      return "unconstrained";
+    case JobType::kGpu:
+      return "gpu";
+    case JobType::kMpi:
+      return "mpi";
+    case JobType::kAvailability:
+      return "availability";
+    case JobType::kDataLocal:
+      return "data-local";
+  }
+  return "?";
+}
+
+const char* ToString(SloClass slo_class) {
+  switch (slo_class) {
+    case SloClass::kBestEffort:
+      return "best-effort";
+    case SloClass::kSloAccepted:
+      return "slo-accepted";
+    case SloClass::kSloUnreserved:
+      return "slo-unreserved";
+  }
+  return "?";
+}
+
+std::string Job::DebugString() const {
+  std::ostringstream out;
+  out << "job " << id << " [" << ToString(type) << ", " << ToString(slo_class)
+      << "] k=" << k << " submit=" << submit << " runtime=" << actual_runtime
+      << " slowdown=" << slowdown;
+  if (deadline != kTimeNever) {
+    out << " deadline=" << deadline;
+  }
+  return out.str();
+}
+
+}  // namespace tetrisched

@@ -1,0 +1,100 @@
+// Job model shared by the scheduler, workload generator, and simulator.
+//
+// Jobs carry ground-truth runtimes (what the simulator enforces) and the
+// scheduler only ever sees *estimates* derived from them through the
+// workload's estimate-error multiplier — the paper's central robustness knob
+// (§6.3: positive error = over-estimation, negative = under-estimation).
+
+#ifndef TETRISCHED_CORE_JOB_H_
+#define TETRISCHED_CORE_JOB_H_
+
+#include <cmath>
+#include <cstdint>
+#include <optional>
+#include <string>
+
+#include "src/cluster/cluster.h"
+#include "src/common/time.h"
+
+namespace tetrisched {
+
+using JobId = int64_t;
+
+// Placement-preference type (paper §6.2.1).
+enum class JobType {
+  kUnconstrained,  // any k nodes, no slowdown
+  kGpu,            // prefers k GPU nodes; slowdown elsewhere
+  kMpi,            // prefers all k on one rack; slowdown when spread
+  kAvailability,   // anti-affinity: one task per rack (Fig 1); MIN-expressed
+  kDataLocal,      // prefers an explicit partition set (data locality /
+                   // dynamic heterogeneity, paper S2.2); slowdown elsewhere
+};
+
+// Deadline-sensitivity class (paper §6.2.2). The SLO split between accepted
+// and unreserved is decided by Rayon admission at submit time.
+enum class SloClass {
+  kBestEffort,
+  kSloAccepted,
+  kSloUnreserved,
+};
+
+struct Job {
+  JobId id = -1;
+  JobType type = JobType::kUnconstrained;
+  bool wants_reservation = false;  // submits to Rayon (SLO job)
+  int k = 1;                       // gang size (simultaneous containers)
+  SimTime submit = 0;
+
+  // Ground truth: runtime on a preferred placement; fallback placements run
+  // `slowdown` times longer (>= 1).
+  SimDuration actual_runtime = 0;
+  double slowdown = 1.0;
+
+  // Absolute completion deadline for SLO jobs; kTimeNever for best effort.
+  SimTime deadline = kTimeNever;
+
+  // Estimates visible to Rayon/scheduler are actual * (1 + estimate_error).
+  double estimate_error = 0.0;
+
+  // For kDataLocal jobs: the equivalence set holding this job's input data
+  // (e.g. Cluster::TaggedPartitions of its dataset's replica group).
+  PartitionSet preferred_partitions;
+
+  // Filled in by Rayon admission before the job reaches the scheduler.
+  SloClass slo_class = SloClass::kBestEffort;
+  TimeRange reservation{0, 0};  // valid iff slo_class == kSloAccepted
+
+  SimDuration ActualRuntime(bool preferred) const {
+    return preferred ? actual_runtime
+                     : static_cast<SimDuration>(
+                           std::llround(actual_runtime * slowdown));
+  }
+
+  // Learned estimates installed by a RuntimeEstimator (when the simulator
+  // runs with estimate learning enabled); they take precedence over the
+  // submitted error-injected estimate.
+  std::optional<SimDuration> learned_estimate_preferred;
+  std::optional<SimDuration> learned_estimate_fallback;
+
+  SimDuration EstimatedRuntime(bool preferred) const {
+    const std::optional<SimDuration>& learned =
+        preferred ? learned_estimate_preferred : learned_estimate_fallback;
+    if (learned.has_value()) {
+      return std::max<SimDuration>(1, *learned);
+    }
+    double estimate = ActualRuntime(preferred) * (1.0 + estimate_error);
+    return std::max<SimDuration>(1, static_cast<SimDuration>(
+                                        std::llround(estimate)));
+  }
+
+  bool is_slo() const { return slo_class != SloClass::kBestEffort; }
+
+  std::string DebugString() const;
+};
+
+const char* ToString(JobType type);
+const char* ToString(SloClass slo_class);
+
+}  // namespace tetrisched
+
+#endif  // TETRISCHED_CORE_JOB_H_

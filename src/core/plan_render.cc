@@ -1,0 +1,92 @@
+#include "src/core/plan_render.h"
+
+#include <algorithm>
+#include <map>
+#include <sstream>
+
+namespace tetrisched {
+namespace {
+
+char GlyphFor(int job_index) {
+  constexpr const char* kGlyphs =
+      "ABCDEFGHIJKLMNOPQRSTUVWXYZabcdefghijklmnopqrstuvwxyz0123456789";
+  constexpr int kNumGlyphs = 62;
+  return kGlyphs[job_index % kNumGlyphs];
+}
+
+}  // namespace
+
+std::string RenderPlan(const Cluster& cluster,
+                       const std::vector<PlanSlot>& slots, SimTime origin,
+                       SimDuration quantum, int num_slices) {
+  // grid[node][slice] = job letter or '.'.
+  std::vector<std::vector<char>> grid(
+      cluster.num_nodes(), std::vector<char>(num_slices, '.'));
+  std::map<int64_t, char> job_glyphs;
+  bool overflow = false;
+
+  // Per partition, fill rows top-down per slice; a slot occupies `count`
+  // node rows of its partition for every slice its interval covers.
+  for (const PlanSlot& slot : slots) {
+    auto [glyph_it, inserted] = job_glyphs.try_emplace(
+        slot.job, GlyphFor(static_cast<int>(job_glyphs.size())));
+    char glyph = glyph_it->second;
+    const Partition& partition = cluster.partition(slot.partition);
+    for (int slice = 0; slice < num_slices; ++slice) {
+      SimTime slice_start = origin + slice * quantum;
+      TimeRange slice_range{slice_start, slice_start + quantum};
+      if (!slot.interval.overlaps(slice_range)) {
+        continue;
+      }
+      int placed = 0;
+      for (NodeId node : partition.nodes) {
+        if (placed == slot.count) {
+          break;
+        }
+        if (grid[node][slice] == '.') {
+          grid[node][slice] = glyph;
+          ++placed;
+        }
+      }
+      if (placed < slot.count) {
+        overflow = true;
+      }
+    }
+  }
+
+  std::ostringstream out;
+  out << "      t=";
+  for (int slice = 0; slice < num_slices; ++slice) {
+    out << origin + slice * quantum;
+    if (slice + 1 < num_slices) {
+      out << std::string(2, ' ');
+    }
+  }
+  out << "\n";
+  // Rows from the highest node id down, annotated with partition boundaries.
+  for (NodeId node = cluster.num_nodes() - 1; node >= 0; --node) {
+    out << "  M" << node << (node < 10 ? " " : "") << " [";
+    for (int slice = 0; slice < num_slices; ++slice) {
+      out << ' ' << grid[node][slice] << ' ';
+    }
+    out << "]";
+    const Partition& partition = cluster.partition(cluster.partition_of(node));
+    if (partition.nodes.front() == node) {
+      out << "  rack " << partition.rack << (partition.has_gpu ? " (gpu)" : "");
+    }
+    out << "\n";
+  }
+  if (overflow) {
+    out << "  OVERFLOW: some slots exceeded partition capacity\n";
+  }
+  if (!job_glyphs.empty()) {
+    out << "  legend:";
+    for (const auto& [job, glyph] : job_glyphs) {
+      out << " " << glyph << "=job" << job;
+    }
+    out << "\n";
+  }
+  return out.str();
+}
+
+}  // namespace tetrisched

@@ -1,0 +1,41 @@
+// ASCII space-time schedule rendering, in the style of the paper's Fig 1:
+// machines along the rows, time slices along the columns, one letter per
+// job. Used by examples and debugging to visualize what the MILP chose.
+//
+//        t=0      8     16     24
+//   M3  [ A  A  A  B  B  .  .  . ]
+//   M2  [ A  A  A  B  B  .  .  . ]   rack 1
+//   M1  [ C  C  C  C  C  C  .  . ]
+//   M0  [ C  C  C  C  C  C  .  . ]   rack 0 (gpu)
+
+#ifndef TETRISCHED_CORE_PLAN_RENDER_H_
+#define TETRISCHED_CORE_PLAN_RENDER_H_
+
+#include <string>
+#include <vector>
+
+#include "src/cluster/cluster.h"
+#include "src/common/time.h"
+
+namespace tetrisched {
+
+// One job's planned (or executed) slot in resource space-time.
+struct PlanSlot {
+  int64_t job = -1;
+  PartitionId partition = -1;
+  int count = 0;
+  TimeRange interval{0, 0};
+};
+
+// Renders the slots onto a machines x time grid. Node rows are grouped by
+// partition; time is quantized by `quantum` from `origin` for `num_slices`
+// columns. Jobs are lettered 'A'.. in first-appearance order (wrapping
+// through lowercase and digits); '.' marks idle cells. Slots that exceed a
+// partition's capacity in any slice are reported inline as "OVERFLOW".
+std::string RenderPlan(const Cluster& cluster,
+                       const std::vector<PlanSlot>& slots, SimTime origin,
+                       SimDuration quantum, int num_slices);
+
+}  // namespace tetrisched
+
+#endif  // TETRISCHED_CORE_PLAN_RENDER_H_

@@ -1,0 +1,85 @@
+// Scheduler policy interface between the simulator and the scheduling
+// algorithms (TetriSched variants and the Rayon/CapacityScheduler baseline).
+//
+// Each simulated scheduling cycle the simulator presents the pending queue
+// and the holds of currently running jobs; the policy answers with the jobs
+// to launch right now (as partition-count placements), jobs to drop (SLO jobs
+// whose deadline became unreachable), and — for preemption-capable baselines
+// — running jobs to kill.
+
+#ifndef TETRISCHED_CORE_POLICY_H_
+#define TETRISCHED_CORE_POLICY_H_
+
+#include <map>
+#include <vector>
+
+#include "src/cluster/cluster.h"
+#include "src/common/time.h"
+#include "src/core/job.h"
+
+namespace tetrisched {
+
+// What a running job currently holds and when the *scheduler believes* it
+// will release it (estimate-derived; adjusted upward when observed late).
+struct RunningHold {
+  JobId job = -1;
+  SloClass slo_class = SloClass::kBestEffort;
+  SimTime start = 0;
+  // End of the job's Rayon reservation window (kTimeNever unless accepted).
+  // A running job past this instant is no longer guaranteed and becomes
+  // preemptible in the baseline stack.
+  SimTime reservation_end = kTimeNever;
+  std::map<PartitionId, int> counts;
+  SimTime expected_end = 0;
+};
+
+// A decision to start a job now on the given partition counts.
+struct Placement {
+  JobId job = -1;
+  std::map<PartitionId, int> counts;
+  SimDuration est_duration = 0;   // scheduler's belief for this placement
+  bool preferred_belief = false;  // scheduler planned the fast option
+  double value = 0.0;             // STRL value of the chosen option
+
+  int total_nodes() const {
+    int total = 0;
+    for (const auto& [partition, count] : counts) {
+      total += count;
+    }
+    return total;
+  }
+};
+
+// Per-cycle measurements feeding the Fig-12 scalability analysis.
+struct CycleStats {
+  double cycle_seconds = 0.0;   // wall-clock for the whole decision
+  double solver_seconds = 0.0;  // wall-clock inside the MILP solver
+  int milp_vars = 0;
+  int milp_constraints = 0;
+  int milp_nodes = 0;
+  int pending_count = 0;
+  int scheduled_count = 0;
+  int dropped_count = 0;
+};
+
+class SchedulerPolicy {
+ public:
+  struct Decision {
+    std::vector<Placement> start_now;
+    std::vector<JobId> drop;
+    std::vector<JobId> preempt;  // running jobs to kill (baseline only)
+    CycleStats stats;
+  };
+
+  virtual ~SchedulerPolicy() = default;
+
+  virtual Decision OnCycle(SimTime now,
+                           const std::vector<const Job*>& pending,
+                           const std::vector<RunningHold>& running) = 0;
+
+  virtual const char* name() const = 0;
+};
+
+}  // namespace tetrisched
+
+#endif  // TETRISCHED_CORE_POLICY_H_

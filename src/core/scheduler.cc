@@ -1,0 +1,332 @@
+#include "src/core/scheduler.h"
+
+#include <algorithm>
+#include <chrono>
+#include <cmath>
+
+#include "src/common/logging.h"
+#include "src/compiler/compiler.h"
+
+namespace tetrisched {
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+double Seconds(Clock::time_point from, Clock::time_point to) {
+  return std::chrono::duration<double>(to - from).count();
+}
+
+// Priority order for the greedy (NG) policy's three FIFO queues (paper §6.3).
+int QueueRank(const Job& job) {
+  switch (job.slo_class) {
+    case SloClass::kSloAccepted:
+      return 0;
+    case SloClass::kSloUnreserved:
+      return 1;
+    case SloClass::kBestEffort:
+      return 2;
+  }
+  return 2;
+}
+
+}  // namespace
+
+TetriSchedConfig TetriSchedConfig::Full(SimDuration plan_ahead) {
+  TetriSchedConfig config;
+  config.plan_ahead = plan_ahead;
+  return config;
+}
+
+TetriSchedConfig TetriSchedConfig::NoHeterogeneity(SimDuration plan_ahead) {
+  TetriSchedConfig config;
+  config.plan_ahead = plan_ahead;
+  config.heterogeneity_aware = false;
+  return config;
+}
+
+TetriSchedConfig TetriSchedConfig::NoGlobal(SimDuration plan_ahead) {
+  TetriSchedConfig config;
+  config.plan_ahead = plan_ahead;
+  config.global = false;
+  return config;
+}
+
+TetriSchedConfig TetriSchedConfig::NoPlanAhead() {
+  TetriSchedConfig config;
+  config.plan_ahead = config.quantum;  // single-slice window: now or never
+  return config;
+}
+
+TetriScheduler::TetriScheduler(const Cluster& cluster, TetriSchedConfig config)
+    : cluster_(cluster),
+      config_(config),
+      generator_(cluster, StrlGenOptions{config.plan_ahead, config.quantum,
+                                         config.heterogeneity_aware,
+                                         config.be_decay_horizon}) {}
+
+const char* TetriScheduler::name() const {
+  if (!config_.heterogeneity_aware) {
+    return "TetriSched-NH";
+  }
+  if (!config_.global) {
+    return "TetriSched-NG";
+  }
+  if (config_.plan_ahead <= config_.quantum) {
+    return "TetriSched-NP";
+  }
+  return "TetriSched";
+}
+
+TimeGrid TetriScheduler::MakeGrid(SimTime now) const {
+  TimeGrid grid;
+  grid.start = QuantizeDown(now, config_.quantum);
+  grid.quantum = config_.quantum;
+  SimTime horizon = now + config_.plan_ahead;
+  grid.num_slices = static_cast<int>(
+      QuantaCovering(horizon - grid.start, config_.quantum));
+  return grid;
+}
+
+AvailabilityGrid TetriScheduler::BuildAvailability(
+    SimTime now, const std::vector<RunningHold>& running) const {
+  AvailabilityGrid availability(cluster_, MakeGrid(now));
+  for (const RunningHold& hold : running) {
+    // Optimistic completion with upward adjustment: a job observed to run
+    // past its estimate is assumed to hold resources one more quantum
+    // (paper §7.1: adjust under-estimates upward when observed too low).
+    SimTime expected_end =
+        std::max(hold.expected_end, now + config_.quantum);
+    for (const auto& [partition, count] : hold.counts) {
+      availability.Reduce(partition, {now, expected_end}, count);
+    }
+  }
+  return availability;
+}
+
+TetriScheduler::Decision TetriScheduler::OnCycle(
+    SimTime now, const std::vector<const Job*>& pending,
+    const std::vector<RunningHold>& running) {
+  auto cycle_start = Clock::now();
+  Decision decision;
+  decision.stats.pending_count = static_cast<int>(pending.size());
+  if (pending.empty()) {
+    previous_plan_.clear();
+    return decision;
+  }
+
+  AvailabilityGrid availability = BuildAvailability(now, running);
+  std::set<JobId> planned;
+  decision = config_.global ? GlobalCycle(now, pending, availability, &planned)
+                            : GreedyCycle(now, pending, availability);
+
+  if (config_.enable_preemption && config_.global) {
+    // Rescue preemption (extension): an accepted SLO job that received no
+    // allocation at all and is about to run out of feasible start times can
+    // reclaim capacity from the youngest running best-effort containers.
+    const Job* stranded = nullptr;
+    for (const Job* job : pending) {
+      if (job->slo_class != SloClass::kSloAccepted ||
+          planned.count(job->id) != 0) {
+        continue;
+      }
+      SimTime latest_start =
+          job->deadline - job->EstimatedRuntime(/*preferred=*/true);
+      if (latest_start >= now &&
+          latest_start < now + 2 * config_.quantum) {
+        stranded = job;
+        break;
+      }
+    }
+    if (stranded != nullptr) {
+      std::vector<const RunningHold*> victims;
+      for (const RunningHold& hold : running) {
+        if (hold.slo_class == SloClass::kBestEffort) {
+          victims.push_back(&hold);
+        }
+      }
+      std::sort(victims.begin(), victims.end(),
+                [](const RunningHold* a, const RunningHold* b) {
+                  return a->start > b->start;  // youngest first
+                });
+      std::set<JobId> preempted;
+      int freed = 0;
+      for (const RunningHold* victim : victims) {
+        if (freed >= stranded->k) {
+          break;
+        }
+        preempted.insert(victim->job);
+        for (const auto& [partition, count] : victim->counts) {
+          freed += count;
+        }
+      }
+      if (freed >= stranded->k && !preempted.empty()) {
+        std::vector<RunningHold> surviving;
+        for (const RunningHold& hold : running) {
+          if (preempted.count(hold.job) == 0) {
+            surviving.push_back(hold);
+          }
+        }
+        AvailabilityGrid retry = BuildAvailability(now, surviving);
+        decision = GlobalCycle(now, pending, retry, &planned);
+        decision.preempt.assign(preempted.begin(), preempted.end());
+      }
+    }
+  }
+
+  decision.stats.pending_count = static_cast<int>(pending.size());
+  decision.stats.scheduled_count = static_cast<int>(decision.start_now.size());
+  decision.stats.dropped_count = static_cast<int>(decision.drop.size());
+  decision.stats.cycle_seconds = Seconds(cycle_start, Clock::now());
+  return decision;
+}
+
+TetriScheduler::Decision TetriScheduler::GlobalCycle(
+    SimTime now, const std::vector<const Job*>& pending,
+    AvailabilityGrid& availability, std::set<JobId>* planned) {
+  Decision decision;
+  OptionRegistry registry;
+
+  // Expand every pending job; jobs with no positive-value option are dropped
+  // (their SLO is no longer reachable).
+  std::vector<StrlExpr> job_exprs;
+  for (const Job* job : pending) {
+    std::optional<StrlExpr> expr =
+        generator_.GenerateJobExpr(*job, now, &registry);
+    if (expr.has_value()) {
+      job_exprs.push_back(std::move(*expr));
+    } else {
+      decision.drop.push_back(job->id);
+    }
+  }
+  if (job_exprs.empty()) {
+    previous_plan_.clear();
+    return decision;
+  }
+
+  StrlExpr root = job_exprs.size() == 1 ? std::move(job_exprs[0])
+                                        : Sum(std::move(job_exprs));
+  CompiledStrl compiled = StrlCompiler(availability).Compile(root);
+  decision.stats.milp_vars = compiled.model().num_vars();
+  decision.stats.milp_constraints = compiled.model().num_constraints();
+
+  // Warm start from the surviving part of last cycle's plan.
+  std::vector<double> warm;
+  if (config_.enable_warm_start && !previous_plan_.empty()) {
+    warm = compiled.BuildWarmStart(previous_plan_);
+  }
+
+  MilpSolver solver(compiled.model(), config_.milp);
+  MilpResult result = solver.Solve(warm);
+  decision.stats.solver_seconds = result.solve_seconds;
+  decision.stats.milp_nodes = result.nodes;
+  previous_plan_.clear();
+  if (!result.HasSolution()) {
+    // With all-zero being feasible this only happens on solver limits;
+    // schedule nothing and replan next cycle.
+    TETRI_LOG(kWarning) << "MILP produced no schedule (status "
+                        << static_cast<int>(result.status) << ")";
+    return decision;
+  }
+
+  // Commit only the allocations starting now; remember deferred choices as
+  // next cycle's warm start.
+  std::map<JobId, Placement> starting;
+  for (const StrlAllocation& alloc :
+       compiled.ExtractAllocations(result.values)) {
+    auto option_it = registry.find(alloc.tag);
+    if (option_it == registry.end()) {
+      continue;  // untagged leaf (not produced by the generator)
+    }
+    const JobOption& option = option_it->second;
+    if (planned != nullptr) {
+      planned->insert(option.job);
+    }
+    if (option.start > now) {
+      previous_plan_[alloc.tag] = alloc.counts;
+      continue;
+    }
+    Placement& placement = starting[option.job];
+    placement.job = option.job;
+    placement.est_duration = option.est_duration;
+    placement.preferred_belief = option.preferred;
+    placement.value = option.value;
+    for (const auto& [partition, count] : alloc.counts) {
+      placement.counts[partition] += count;
+    }
+  }
+  for (auto& [job, placement] : starting) {
+    decision.start_now.push_back(std::move(placement));
+  }
+  return decision;
+}
+
+TetriScheduler::Decision TetriScheduler::GreedyCycle(
+    SimTime now, const std::vector<const Job*>& pending,
+    AvailabilityGrid& availability) {
+  Decision decision;
+
+  // Three FIFO queues in priority order: accepted SLO, unreserved SLO, BE.
+  std::vector<const Job*> ordered(pending.begin(), pending.end());
+  std::stable_sort(ordered.begin(), ordered.end(),
+                   [](const Job* a, const Job* b) {
+                     if (QueueRank(*a) != QueueRank(*b)) {
+                       return QueueRank(*a) < QueueRank(*b);
+                     }
+                     return a->submit < b->submit;
+                   });
+
+  for (const Job* job : ordered) {
+    OptionRegistry registry;
+    std::optional<StrlExpr> expr =
+        generator_.GenerateJobExpr(*job, now, &registry);
+    if (!expr.has_value()) {
+      decision.drop.push_back(job->id);
+      continue;
+    }
+
+    CompiledStrl compiled = StrlCompiler(availability).Compile(*expr);
+    decision.stats.milp_vars += compiled.model().num_vars();
+    decision.stats.milp_constraints += compiled.model().num_constraints();
+    MilpSolver solver(compiled.model(), config_.milp);
+    MilpResult result = solver.Solve();
+    decision.stats.solver_seconds += result.solve_seconds;
+    decision.stats.milp_nodes += result.nodes;
+    if (!result.HasSolution() || result.objective <= 0.0) {
+      continue;  // nothing schedulable for this job within the window
+    }
+
+    // Commit the chosen option against this cycle's availability so later
+    // (lower-priority) jobs cannot double-book it.
+    Placement placement;
+    bool starts_now = false;
+    for (const StrlAllocation& alloc :
+         compiled.ExtractAllocations(result.values)) {
+      auto option_it = registry.find(alloc.tag);
+      if (option_it == registry.end()) {
+        continue;
+      }
+      const JobOption& option = option_it->second;
+      for (const auto& [partition, count] : alloc.counts) {
+        availability.Reduce(partition,
+                            {alloc.start, alloc.start + alloc.duration},
+                            count);
+      }
+      if (option.start <= now) {
+        starts_now = true;
+        placement.job = option.job;
+        placement.est_duration = option.est_duration;
+        placement.preferred_belief = option.preferred;
+        placement.value = option.value;
+        for (const auto& [partition, count] : alloc.counts) {
+          placement.counts[partition] += count;
+        }
+      }
+    }
+    if (starts_now) {
+      decision.start_now.push_back(std::move(placement));
+    }
+  }
+  return decision;
+}
+
+}  // namespace tetrisched

@@ -1,0 +1,103 @@
+// The TetriSched scheduler core (paper §3.2).
+//
+// Every cycle the scheduler:
+//   1. quantizes the plan-ahead window into a TimeGrid aligned to absolute
+//      quantum boundaries (so option identities are stable for warm starts),
+//   2. computes per-partition availability from the holds of running jobs,
+//   3. expands every pending job into a STRL expression (STRL Generator),
+//   4. aggregates them under SUM, compiles to MILP, and solves with the
+//      previous cycle's surviving plan as the warm-start incumbent,
+//   5. commits only the allocations chosen to start *now*; deferred choices
+//      are remembered solely as next cycle's warm start (adaptive re-planning
+//      — nothing future is ever locked in).
+//
+// Feature ablations used in the paper's §7.2 (Table 2):
+//   * global=false        -> TetriSched-NG: per-job MILPs in priority order
+//   * heterogeneity=false -> TetriSched-NH: whole-cluster, slow-runtime STRL
+//   * plan_ahead==quantum -> TetriSched-NP: now-or-never (alsched-like)
+
+#ifndef TETRISCHED_CORE_SCHEDULER_H_
+#define TETRISCHED_CORE_SCHEDULER_H_
+
+#include <map>
+#include <set>
+#include <vector>
+
+#include "src/cluster/availability.h"
+#include "src/cluster/cluster.h"
+#include "src/core/policy.h"
+#include "src/core/strl_gen.h"
+#include "src/solver/milp.h"
+
+namespace tetrisched {
+
+struct TetriSchedConfig {
+  SimDuration plan_ahead = 96;  // paper sweeps 0..144 s; ~100 s saturates
+  SimDuration quantum = 8;
+  bool global = true;
+  bool heterogeneity_aware = true;
+  SimDuration be_decay_horizon = 600;
+  // Extension beyond the paper (its S7.2 names preemption as future work):
+  // when an accepted SLO job is about to lose its last feasible start and
+  // best-effort containers hold the capacity, preempt the youngest BE jobs
+  // and re-solve the cycle once. Off by default to match the paper.
+  bool enable_preemption = false;
+  // Seed each cycle's MILP with the previous cycle's surviving plan
+  // (paper §3.2.2). Disable only for the warm-start ablation bench.
+  bool enable_warm_start = true;
+  MilpOptions milp = DefaultMilpOptions();
+
+  static MilpOptions DefaultMilpOptions() {
+    MilpOptions options;
+    options.rel_gap = 0.10;  // paper §3.2.2: within 10% of optimal
+    options.time_limit_seconds = 0.5;
+    options.max_nodes = 2000;
+    // Bail once the incumbent stops improving: scheduling bounds are loose
+    // and only the solution itself is committed each cycle.
+    options.stall_node_limit = 250;
+    return options;
+  }
+
+  // Convenience constructors for the paper's ablated configurations.
+  static TetriSchedConfig Full(SimDuration plan_ahead = 96);
+  static TetriSchedConfig NoHeterogeneity(SimDuration plan_ahead = 96);
+  static TetriSchedConfig NoGlobal(SimDuration plan_ahead = 96);
+  static TetriSchedConfig NoPlanAhead();
+};
+
+class TetriScheduler : public SchedulerPolicy {
+ public:
+  TetriScheduler(const Cluster& cluster, TetriSchedConfig config);
+
+  Decision OnCycle(SimTime now, const std::vector<const Job*>& pending,
+                   const std::vector<RunningHold>& running) override;
+
+  const char* name() const override;
+
+  const TetriSchedConfig& config() const { return config_; }
+
+ private:
+  // `planned` receives the ids of jobs given any allocation (now or
+  // deferred) so rescue preemption can spot stranded SLO jobs.
+  Decision GlobalCycle(SimTime now, const std::vector<const Job*>& pending,
+                       AvailabilityGrid& availability,
+                       std::set<JobId>* planned = nullptr);
+  Decision GreedyCycle(SimTime now, const std::vector<const Job*>& pending,
+                       AvailabilityGrid& availability);
+
+  TimeGrid MakeGrid(SimTime now) const;
+  AvailabilityGrid BuildAvailability(
+      SimTime now, const std::vector<RunningHold>& running) const;
+
+  const Cluster& cluster_;
+  TetriSchedConfig config_;
+  StrlGenerator generator_;
+
+  // Deferred choices from the previous cycle, keyed by stable leaf tags;
+  // used only as the next solve's warm-start hint.
+  LeafGrants previous_plan_;
+};
+
+}  // namespace tetrisched
+
+#endif  // TETRISCHED_CORE_SCHEDULER_H_

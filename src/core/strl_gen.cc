@@ -1,0 +1,181 @@
+#include "src/core/strl_gen.h"
+
+#include <algorithm>
+#include <cassert>
+
+namespace tetrisched {
+namespace {
+
+// Tag layout: ((job * kMaxSlots) + absolute_slot) * kMaxKinds + kind.
+// Stable across cycles (slots are absolute quantum indices), which is what
+// lets the previous cycle's plan warm-start the next cycle's MILP.
+constexpr int64_t kMaxKinds = 64;
+constexpr int64_t kMaxSlots = int64_t{1} << 24;
+
+constexpr int kKindPreferred = 0;
+constexpr int kKindFallback = 1;
+constexpr int kKindRackBase = 2;  // + rack id
+
+}  // namespace
+
+StrlGenerator::StrlGenerator(const Cluster& cluster, StrlGenOptions options)
+    : cluster_(cluster), options_(options) {
+  assert(options_.quantum > 0 && options_.plan_ahead >= options_.quantum);
+}
+
+ValueFunction StrlGenerator::JobValue(const Job& job) const {
+  switch (job.slo_class) {
+    case SloClass::kSloAccepted:
+      return AcceptedSloValue(job.deadline);
+    case SloClass::kSloUnreserved:
+      return UnreservedSloValue(job.deadline);
+    case SloClass::kBestEffort:
+      return BestEffortValue(job.submit, options_.be_decay_horizon);
+  }
+  return BestEffortValue(job.submit, options_.be_decay_horizon);
+}
+
+std::vector<SimTime> StrlGenerator::CandidateStarts(SimTime now) const {
+  std::vector<SimTime> starts{now};
+  SimTime horizon = now + options_.plan_ahead;
+  for (SimTime t = QuantizeDown(now, options_.quantum) + options_.quantum;
+       t < horizon; t += options_.quantum) {
+    if (t > now) {
+      starts.push_back(t);
+    }
+  }
+  return starts;
+}
+
+LeafTag StrlGenerator::MakeTag(const Job& job, SimTime start,
+                               int option_kind) const {
+  int64_t slot = start / options_.quantum;
+  assert(slot >= 0 && slot < kMaxSlots && option_kind < kMaxKinds);
+  return (job.id * kMaxSlots + slot) * kMaxKinds + option_kind;
+}
+
+std::optional<StrlExpr> StrlGenerator::GenerateJobExpr(
+    const Job& job, SimTime now, OptionRegistry* registry) const {
+  const ValueFunction value_fn = JobValue(job);
+  const PartitionSet all = cluster_.AllPartitions();
+  const bool het = options_.heterogeneity_aware;
+
+  auto record = [&](LeafTag tag, SimTime start, SimDuration dur,
+                    bool preferred, double value) {
+    if (registry != nullptr) {
+      (*registry)[tag] = JobOption{job.id, start, dur, preferred, value};
+    }
+  };
+
+  std::vector<StrlExpr> start_options;
+  for (SimTime start : CandidateStarts(now)) {
+    std::vector<StrlExpr> options;
+
+    // Fast (preferred) and slow (fallback) runtimes as the scheduler
+    // estimates them.
+    SimDuration fast = job.EstimatedRuntime(/*preferred=*/true);
+    SimDuration slow = job.EstimatedRuntime(/*preferred=*/false);
+    // Completion-time shading breaks the tie between options a step value
+    // function rates equally: faster placements and earlier starts win.
+    double v_fast =
+        ShadeByCompletion(value_fn.At(start + fast), now, start + fast);
+    double v_slow =
+        ShadeByCompletion(value_fn.At(start + slow), now, start + slow);
+
+    switch (het ? job.type : JobType::kUnconstrained) {
+      case JobType::kUnconstrained: {
+        // NH mode treats every job as unconstrained but must stay
+        // conservative about its runtime (paper §6.3).
+        SimDuration dur = het ? fast : slow;
+        double v = het ? v_fast : v_slow;
+        if (v > 0.0 && cluster_.CapacityOf(all) >= job.k) {
+          LeafTag tag = MakeTag(job, start, kKindPreferred);
+          options.push_back(NCk(all, job.k, start, dur, v, tag));
+          // In NH mode the scheduler plans with the conservative slow
+          // runtime, i.e. it does not believe the placement is preferred.
+          record(tag, start, dur, /*preferred=*/het, v);
+        }
+        break;
+      }
+
+      case JobType::kDataLocal:
+      case JobType::kGpu: {
+        PartitionSet gpu = job.type == JobType::kDataLocal
+                               ? job.preferred_partitions
+                               : cluster_.GpuPartitions();
+        if (v_fast > 0.0 && cluster_.CapacityOf(gpu) >= job.k) {
+          LeafTag tag = MakeTag(job, start, kKindPreferred);
+          options.push_back(NCk(gpu, job.k, start, fast, v_fast, tag));
+          record(tag, start, fast, /*preferred=*/true, v_fast);
+        }
+        if (v_slow > 0.0 && cluster_.CapacityOf(all) >= job.k) {
+          LeafTag tag = MakeTag(job, start, kKindFallback);
+          options.push_back(NCk(all, job.k, start, slow, v_slow, tag));
+          record(tag, start, slow, /*preferred=*/false, v_slow);
+        }
+        break;
+      }
+
+      case JobType::kMpi: {
+        if (v_fast > 0.0) {
+          for (RackId rack = 0; rack < cluster_.num_racks(); ++rack) {
+            PartitionSet rack_set = cluster_.RackPartitions(rack);
+            if (cluster_.CapacityOf(rack_set) < job.k) {
+              continue;
+            }
+            LeafTag tag = MakeTag(job, start, kKindRackBase + rack);
+            options.push_back(
+                NCk(std::move(rack_set), job.k, start, fast, v_fast, tag));
+            record(tag, start, fast, /*preferred=*/true, v_fast);
+          }
+        }
+        if (v_slow > 0.0 && cluster_.CapacityOf(all) >= job.k) {
+          LeafTag tag = MakeTag(job, start, kKindFallback);
+          options.push_back(NCk(all, job.k, start, slow, v_slow, tag));
+          record(tag, start, slow, /*preferred=*/false, v_slow);
+        }
+        break;
+      }
+
+      case JobType::kAvailability: {
+        // One task on each of min(k, num_racks) racks, all required (MIN).
+        int racks = std::min(job.k, cluster_.num_racks());
+        if (v_fast > 0.0 && racks > 0) {
+          std::vector<StrlExpr> legs;
+          for (RackId rack = 0; rack < racks; ++rack) {
+            PartitionSet rack_set = cluster_.RackPartitions(rack);
+            if (cluster_.CapacityOf(rack_set) < 1) {
+              legs.clear();
+              break;
+            }
+            LeafTag tag = MakeTag(job, start, kKindRackBase + rack);
+            legs.push_back(
+                NCk(std::move(rack_set), 1, start, fast, v_fast, tag));
+            record(tag, start, fast, /*preferred=*/true, v_fast);
+          }
+          if (!legs.empty()) {
+            options.push_back(legs.size() == 1 ? std::move(legs[0])
+                                               : Min(std::move(legs)));
+          }
+        }
+        break;
+      }
+    }
+
+    if (options.empty()) {
+      continue;
+    }
+    start_options.push_back(options.size() == 1 ? std::move(options[0])
+                                                : Max(std::move(options)));
+  }
+
+  if (start_options.empty()) {
+    return std::nullopt;
+  }
+  if (start_options.size() == 1) {
+    return std::move(start_options[0]);
+  }
+  return Max(std::move(start_options));
+}
+
+}  // namespace tetrisched

@@ -1,0 +1,474 @@
+#include "src/sim/simulator.h"
+
+#include <algorithm>
+#include <cassert>
+#include <map>
+#include <queue>
+#include <set>
+#include <sstream>
+
+#include "src/cluster/ledger.h"
+#include "src/core/estimator.h"
+#include "src/common/logging.h"
+
+namespace tetrisched {
+
+bool IsPreferredPlacement(const Cluster& cluster, const Job& job,
+                          const std::map<PartitionId, int>& counts) {
+  switch (job.type) {
+    case JobType::kUnconstrained:
+      return true;
+    case JobType::kGpu:
+      for (const auto& [partition, count] : counts) {
+        if (count > 0 && !cluster.partition(partition).has_gpu) {
+          return false;
+        }
+      }
+      return true;
+    case JobType::kMpi: {
+      RackId rack = -1;
+      for (const auto& [partition, count] : counts) {
+        if (count == 0) {
+          continue;
+        }
+        RackId r = cluster.partition(partition).rack;
+        if (rack == -1) {
+          rack = r;
+        } else if (rack != r) {
+          return false;
+        }
+      }
+      return true;
+    }
+    case JobType::kAvailability:
+      return true;
+    case JobType::kDataLocal:
+      for (const auto& [partition, count] : counts) {
+        if (count > 0 &&
+            std::find(job.preferred_partitions.begin(),
+                      job.preferred_partitions.end(),
+                      partition) == job.preferred_partitions.end()) {
+          return false;
+        }
+      }
+      return true;
+  }
+  return true;
+}
+
+int ApplyAdmission(const Cluster& cluster, std::vector<Job>& jobs) {
+  RayonAdmission rayon(cluster.num_nodes());
+  int accepted = 0;
+  for (Job& job : jobs) {
+    if (!job.wants_reservation) {
+      job.slo_class = SloClass::kBestEffort;
+      continue;
+    }
+    RdlRequest request;
+    request.requester = job.id;
+    request.k = job.k;
+    // Reservations are made against the preferred-placement estimate; the
+    // scheduler (not the admission plan) absorbs the slowdown risk of
+    // fallback placements.
+    request.duration = job.EstimatedRuntime(/*preferred=*/true);
+    request.window_start = job.submit;
+    request.window_end = job.deadline;
+    ReservationDecision decision = rayon.Submit(request);
+    if (decision.accepted) {
+      job.slo_class = SloClass::kSloAccepted;
+      job.reservation = decision.interval;
+      ++accepted;
+    } else {
+      job.slo_class = SloClass::kSloUnreserved;
+    }
+  }
+  return accepted;
+}
+
+namespace {
+
+enum class JobState {
+  kFuture,
+  kPending,
+  kRunning,
+  kCompleted,
+  kDropped,
+};
+
+struct RunningJob {
+  std::vector<NodeId> nodes;
+  std::map<PartitionId, int> counts;
+  SimTime start = 0;
+  SimTime expected_end = 0;  // scheduler-visible (estimate-derived)
+  SimTime actual_end = 0;    // ground truth
+};
+
+}  // namespace
+
+Simulator::Simulator(const Cluster& cluster, SchedulerPolicy& policy,
+                     std::vector<Job> jobs, SimConfig config)
+    : cluster_(cluster),
+      policy_(policy),
+      jobs_(std::move(jobs)),
+      config_(config) {
+  std::stable_sort(jobs_.begin(), jobs_.end(),
+                   [](const Job& a, const Job& b) { return a.submit < b.submit; });
+}
+
+SimMetrics Simulator::Run() {
+  SimMetrics metrics;
+  const int n = static_cast<int>(jobs_.size());
+  std::vector<JobState> state(n, JobState::kFuture);
+  std::map<JobId, int> index;
+  metrics.outcomes.resize(n);
+  for (int i = 0; i < n; ++i) {
+    const Job& job = jobs_[i];
+    index[job.id] = i;
+    JobOutcome& outcome = metrics.outcomes[i];
+    outcome.id = job.id;
+    outcome.slo_class = job.slo_class;
+    outcome.type = job.type;
+    outcome.submit = job.submit;
+    outcome.deadline = job.deadline;
+  }
+
+  NodeLedger ledger(cluster_);
+  RuntimeEstimator estimator;
+  auto trace = [&](TraceEvent event) {
+    if (config_.trace != nullptr) {
+      config_.trace->Record(event);
+    }
+  };
+  std::map<JobId, RunningJob> running;
+  // (actual completion time, job id), earliest first.
+  std::priority_queue<std::pair<SimTime, JobId>,
+                      std::vector<std::pair<SimTime, JobId>>, std::greater<>>
+      completions;
+
+  // Fault injection bookkeeping.
+  std::vector<NodeFailure> failures = config_.node_failures;
+  std::sort(failures.begin(), failures.end(),
+            [](const NodeFailure& a, const NodeFailure& b) {
+              return a.at < b.at;
+            });
+  size_t next_failure = 0;
+  std::priority_queue<std::pair<SimTime, NodeId>,
+                      std::vector<std::pair<SimTime, NodeId>>, std::greater<>>
+      recoveries;
+  std::map<NodeId, SimTime> failed_nodes;  // node -> recover_at
+
+  int next_arrival = 0;
+  int outstanding = n;  // not yet completed/dropped
+  SimTime now = 0;
+  SimTime next_cycle = 0;
+  SimTime last_event = 0;
+  double busy_node_seconds = 0.0;
+  int busy_nodes = 0;
+
+  auto advance_to = [&](SimTime t) {
+    busy_node_seconds += static_cast<double>(busy_nodes) *
+                         static_cast<double>(t - last_event);
+    last_event = t;
+  };
+
+  while (outstanding > 0 && now <= config_.max_time) {
+    SimTime next_event = next_cycle;
+    if (next_arrival < n) {
+      next_event = std::min(next_event, jobs_[next_arrival].submit);
+    }
+    if (!completions.empty()) {
+      next_event = std::min(next_event, completions.top().first);
+    }
+    if (next_failure < failures.size()) {
+      next_event = std::min(next_event, failures[next_failure].at);
+    }
+    if (!recoveries.empty()) {
+      next_event = std::min(next_event, recoveries.top().first);
+    }
+    now = next_event;
+    advance_to(now);
+
+    // Arrivals.
+    while (next_arrival < n && jobs_[next_arrival].submit <= now) {
+      state[next_arrival] = JobState::kPending;
+      trace({now, TraceEventKind::kSubmit, jobs_[next_arrival].id});
+      ++next_arrival;
+    }
+
+    // Completions.
+    while (!completions.empty() && completions.top().first <= now) {
+      auto [time, id] = completions.top();
+      completions.pop();
+      auto it = running.find(id);
+      if (it == running.end() || it->second.actual_end != time) {
+        continue;  // stale entry (job was preempted and rescheduled)
+      }
+      int i = index[id];
+      ledger.Release(it->second.nodes);
+      busy_nodes -= static_cast<int>(it->second.nodes.size());
+      if (config_.learn_estimates) {
+        estimator.Observe(jobs_[i], metrics.outcomes[i].preferred,
+                          time - it->second.start);
+      }
+      int released = static_cast<int>(it->second.nodes.size());
+      running.erase(it);
+      state[i] = JobState::kCompleted;
+      metrics.outcomes[i].completed = true;
+      metrics.outcomes[i].completion = time;
+      trace({time, TraceEventKind::kComplete, id, -1, released});
+      --outstanding;
+    }
+
+    // Node failures: kill whatever ran on the node, requeue the gang, and
+    // take the node out of circulation until recovery.
+    while (next_failure < failures.size() &&
+           failures[next_failure].at <= now) {
+      const NodeFailure& failure = failures[next_failure++];
+      if (failure.node < 0 || failure.node >= cluster_.num_nodes() ||
+          failed_nodes.count(failure.node) != 0) {
+        continue;
+      }
+      if (!ledger.is_free(failure.node)) {
+        for (auto it = running.begin(); it != running.end(); ++it) {
+          auto& nodes = it->second.nodes;
+          if (std::find(nodes.begin(), nodes.end(), failure.node) ==
+              nodes.end()) {
+            continue;
+          }
+          int i = index[it->first];
+          ledger.Release(nodes);
+          busy_nodes -= static_cast<int>(nodes.size());
+          trace({now, TraceEventKind::kFailureKill, it->first, failure.node,
+                 static_cast<int32_t>(nodes.size())});
+          running.erase(it);
+          state[i] = JobState::kPending;  // gang restarts from scratch
+          ++metrics.failure_kills;
+          break;
+        }
+      }
+      ledger.TakeSpecific(failure.node);
+      trace({now, TraceEventKind::kNodeFail, -1, failure.node});
+      failed_nodes[failure.node] = failure.recover_at;
+      if (failure.recover_at != kTimeNever) {
+        recoveries.push({failure.recover_at, failure.node});
+      }
+    }
+
+    // Node recoveries.
+    while (!recoveries.empty() && recoveries.top().first <= now) {
+      auto [time, node] = recoveries.top();
+      recoveries.pop();
+      ledger.ReturnSpecific(node);
+      trace({now, TraceEventKind::kNodeRecover, -1, node});
+      failed_nodes.erase(node);
+    }
+
+    if (now < next_cycle) {
+      continue;
+    }
+    next_cycle = now + config_.cycle_period;
+
+    // Build the policy's view.
+    std::vector<const Job*> pending;
+    for (int i = 0; i < n; ++i) {
+      if (state[i] != JobState::kPending) {
+        continue;
+      }
+      if (config_.learn_estimates) {
+        jobs_[i].learned_estimate_preferred =
+            estimator.Predict(jobs_[i], /*preferred=*/true);
+        jobs_[i].learned_estimate_fallback =
+            estimator.Predict(jobs_[i], /*preferred=*/false);
+      }
+      pending.push_back(&jobs_[i]);
+    }
+    std::vector<RunningHold> holds;
+    holds.reserve(running.size() + failed_nodes.size());
+    // Failed nodes appear to policies as unpreemptible holds lasting until
+    // their recovery time.
+    for (const auto& [node, recover_at] : failed_nodes) {
+      RunningHold hold;
+      hold.job = -1000 - node;  // synthetic id, never matches a real job
+      hold.slo_class = SloClass::kSloAccepted;
+      hold.reservation_end = kTimeNever;
+      hold.counts[cluster_.partition_of(node)] = 1;
+      hold.expected_end = recover_at;
+      holds.push_back(std::move(hold));
+    }
+    for (const auto& [id, run] : running) {
+      const Job& job = jobs_[index[id]];
+      SimTime reservation_end = job.slo_class == SloClass::kSloAccepted
+                                    ? job.reservation.end
+                                    : kTimeNever;
+      holds.push_back({id, job.slo_class, run.start, reservation_end,
+                       run.counts, run.expected_end});
+    }
+
+    SchedulerPolicy::Decision decision = policy_.OnCycle(now, pending, holds);
+    trace({now, TraceEventKind::kCycle, -1, -1,
+           static_cast<int32_t>(pending.size()),
+           decision.stats.cycle_seconds * 1e3});
+    metrics.cycle_latency_ms.Add(decision.stats.cycle_seconds * 1e3);
+    metrics.solver_latency_ms.Add(decision.stats.solver_seconds * 1e3);
+    if (decision.stats.milp_vars > 0) {
+      metrics.milp_vars.Add(decision.stats.milp_vars);
+    }
+
+    // Preemptions first (they free capacity the placements may rely on).
+    for (JobId id : decision.preempt) {
+      auto it = running.find(id);
+      if (it == running.end()) {
+        continue;
+      }
+      int i = index[id];
+      ledger.Release(it->second.nodes);
+      busy_nodes -= static_cast<int>(it->second.nodes.size());
+      trace({now, TraceEventKind::kPreempt, id, -1,
+             static_cast<int32_t>(it->second.nodes.size())});
+      running.erase(it);
+      state[i] = JobState::kPending;  // restarts from scratch
+      ++metrics.outcomes[i].preemptions;
+      ++metrics.preemptions;
+    }
+
+    for (JobId id : decision.drop) {
+      auto it = index.find(id);
+      if (it == index.end() || state[it->second] != JobState::kPending) {
+        continue;
+      }
+      state[it->second] = JobState::kDropped;
+      metrics.outcomes[it->second].dropped = true;
+      trace({now, TraceEventKind::kDrop, id});
+      --outstanding;
+    }
+
+    for (const Placement& placement : decision.start_now) {
+      auto it = index.find(placement.job);
+      assert(it != index.end());
+      int i = it->second;
+      if (state[i] != JobState::kPending) {
+        TETRI_LOG(kWarning) << "policy placed non-pending job "
+                            << placement.job;
+        continue;
+      }
+      const Job& job = jobs_[i];
+      // Availability-type jobs may legitimately place fewer tasks than k
+      // (one per rack); everything else is an exact gang.
+      assert(placement.total_nodes() >= 1 && placement.total_nodes() <= job.k);
+
+      RunningJob run;
+      run.counts = placement.counts;
+      for (const auto& [partition, count] : placement.counts) {
+        assert(count <= ledger.free_in_partition(partition));
+        std::vector<NodeId> nodes = ledger.Acquire(partition, count);
+        run.nodes.insert(run.nodes.end(), nodes.begin(), nodes.end());
+      }
+      busy_nodes += static_cast<int>(run.nodes.size());
+
+      // Ground truth runtime from the *actual* placement quality.
+      bool preferred = IsPreferredPlacement(cluster_, job, run.counts);
+      run.start = now;
+      run.actual_end = now + job.ActualRuntime(preferred);
+      run.expected_end = now + placement.est_duration;
+      completions.push({run.actual_end, job.id});
+      running[job.id] = std::move(run);
+
+      state[i] = JobState::kRunning;
+      trace({now, TraceEventKind::kStart, job.id, -1,
+             placement.total_nodes()});
+      JobOutcome& outcome = metrics.outcomes[i];
+      outcome.started = true;
+      if (outcome.start_time < 0) {
+        outcome.start_time = now;
+      }
+      outcome.preferred = preferred;
+      outcome.placement = placement.counts;
+    }
+  }
+
+  if (now > config_.max_time) {
+    TETRI_LOG(kWarning) << "simulation hit max_time with " << outstanding
+                        << " jobs outstanding";
+  }
+  metrics.makespan = now;
+  metrics.utilization =
+      metrics.makespan > 0
+          ? busy_node_seconds / (static_cast<double>(cluster_.num_nodes()) *
+                                 static_cast<double>(metrics.makespan))
+          : 0.0;
+  return metrics;
+}
+
+namespace {
+
+// Attainment over outcomes matching `match`: fraction completed by deadline.
+template <typename Predicate>
+double Attainment(const std::vector<JobOutcome>& outcomes, Predicate match) {
+  int total = 0;
+  int met = 0;
+  for (const JobOutcome& outcome : outcomes) {
+    if (!match(outcome)) {
+      continue;
+    }
+    ++total;
+    if (outcome.MetDeadline()) {
+      ++met;
+    }
+  }
+  return total > 0 ? static_cast<double>(met) / total : 0.0;
+}
+
+}  // namespace
+
+double SimMetrics::AcceptedSloAttainment() const {
+  return Attainment(outcomes, [](const JobOutcome& o) {
+    return o.slo_class == SloClass::kSloAccepted;
+  });
+}
+
+double SimMetrics::TotalSloAttainment() const {
+  return Attainment(outcomes, [](const JobOutcome& o) { return o.is_slo(); });
+}
+
+double SimMetrics::UnreservedSloAttainment() const {
+  return Attainment(outcomes, [](const JobOutcome& o) {
+    return o.slo_class == SloClass::kSloUnreserved;
+  });
+}
+
+double SimMetrics::MeanBestEffortLatency() const {
+  double total = 0.0;
+  int count = 0;
+  for (const JobOutcome& outcome : outcomes) {
+    if (outcome.is_slo() || !outcome.completed) {
+      continue;
+    }
+    total += static_cast<double>(outcome.completion - outcome.submit);
+    ++count;
+  }
+  return count > 0 ? total / count : 0.0;
+}
+
+int SimMetrics::CountJobs(SloClass slo_class) const {
+  int count = 0;
+  for (const JobOutcome& outcome : outcomes) {
+    if (outcome.slo_class == slo_class) {
+      ++count;
+    }
+  }
+  return count;
+}
+
+std::string SimMetrics::Summary() const {
+  std::ostringstream out;
+  out << "SLO attainment: total " << FormatPercent(TotalSloAttainment(), 1.0)
+      << ", accepted " << FormatPercent(AcceptedSloAttainment(), 1.0)
+      << ", w/o reservation "
+      << FormatPercent(UnreservedSloAttainment(), 1.0)
+      << "; BE mean latency " << MeanBestEffortLatency()
+      << " s; utilization " << FormatPercent(utilization, 1.0)
+      << "; makespan " << makespan << " s";
+  return out.str();
+}
+
+}  // namespace tetrisched

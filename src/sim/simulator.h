@@ -1,0 +1,120 @@
+// Discrete-event cluster simulator (substitute for the paper's 256/80-node
+// physical YARN testbeds).
+//
+// The simulator owns ground truth: node occupancy, actual job runtimes
+// (which depend on the true placement quality, not the scheduler's belief),
+// arrivals, and completions. Policies only ever see estimates. Runtime
+// mis-estimation therefore emerges exactly as in the paper: the scheduler
+// plans with estimate-derived expected completions while the simulator
+// completes jobs on their actual runtimes.
+//
+// Metrics collected match §6.3: accepted / total / unreserved SLO attainment,
+// mean best-effort latency, plus cycle & solver latency distributions and
+// cluster utilization for the scalability analysis.
+
+#ifndef TETRISCHED_SIM_SIMULATOR_H_
+#define TETRISCHED_SIM_SIMULATOR_H_
+
+#include <vector>
+
+#include "src/cluster/cluster.h"
+#include "src/common/stats.h"
+#include "src/core/job.h"
+#include "src/core/policy.h"
+#include "src/rayon/rayon.h"
+#include "src/sim/trace.h"
+
+namespace tetrisched {
+
+// Fault injection: `node` dies at `at` (any task running on it is killed and
+// its whole gang requeued) and, optionally, rejoins at `recover_at`.
+struct NodeFailure {
+  SimTime at = 0;
+  NodeId node = -1;
+  SimTime recover_at = kTimeNever;
+};
+
+struct SimConfig {
+  SimDuration cycle_period = 4;  // paper §6.3: TetriSched cycle = 4 s
+  SimTime max_time = 4000000;    // safety stop
+  std::vector<NodeFailure> node_failures;
+  // Run a RuntimeEstimator in the loop: completions train it, and pending
+  // jobs from sufficiently-observed clusters have their (error-injected)
+  // estimates replaced by learned ones (paper Fig 2's Perforator role).
+  bool learn_estimates = false;
+  // Optional event recorder (not owned; must outlive Run()).
+  SimTrace* trace = nullptr;
+};
+
+// True placement quality: does this partition-count assignment satisfy the
+// job's preference (GPU nodes only / single rack / the job's own data
+// partitions / anything)?
+bool IsPreferredPlacement(const Cluster& cluster, const Job& job,
+                          const std::map<PartitionId, int>& counts);
+
+// Runs every reservation-seeking job through Rayon admission (in submit
+// order, with conservative fallback-runtime estimates), setting slo_class
+// and reservation on each job. Returns the number accepted.
+int ApplyAdmission(const Cluster& cluster, std::vector<Job>& jobs);
+
+struct JobOutcome {
+  JobId id = -1;
+  SloClass slo_class = SloClass::kBestEffort;
+  JobType type = JobType::kUnconstrained;
+  SimTime submit = 0;
+  SimTime deadline = kTimeNever;
+  bool started = false;
+  bool completed = false;
+  bool dropped = false;
+  SimTime start_time = -1;
+  SimTime completion = -1;
+  bool preferred = false;  // actual placement quality at completion
+  // Final placement (partition -> node count); empty if never started.
+  std::map<PartitionId, int> placement;
+  int preemptions = 0;
+
+  bool MetDeadline() const {
+    return completed && completion <= deadline;
+  }
+  bool is_slo() const { return slo_class != SloClass::kBestEffort; }
+};
+
+struct SimMetrics {
+  std::vector<JobOutcome> outcomes;
+  SampleStats cycle_latency_ms;
+  SampleStats solver_latency_ms;
+  SampleStats milp_vars;
+  double utilization = 0.0;  // busy node-seconds / (nodes * makespan)
+  SimTime makespan = 0;
+  int preemptions = 0;
+  int failure_kills = 0;  // jobs killed by node failures (then requeued)
+
+  // §6.3 success metrics. Fractions in [0,1]; 0 when the class is empty.
+  double AcceptedSloAttainment() const;
+  double TotalSloAttainment() const;
+  double UnreservedSloAttainment() const;
+  double MeanBestEffortLatency() const;
+
+  int CountJobs(SloClass slo_class) const;
+  std::string Summary() const;
+};
+
+class Simulator {
+ public:
+  // `jobs` must already be admission-processed (slo_class set) and sorted by
+  // submit time. The policy and cluster must outlive Run().
+  Simulator(const Cluster& cluster, SchedulerPolicy& policy,
+            std::vector<Job> jobs, SimConfig config = {});
+
+  SimMetrics Run();
+
+ private:
+  const Cluster& cluster_;
+  SchedulerPolicy& policy_;
+  std::vector<Job> jobs_;
+  SimConfig config_;
+};
+
+}  // namespace tetrisched
+
+#endif  // TETRISCHED_SIM_SIMULATOR_H_

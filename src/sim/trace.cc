@@ -1,0 +1,129 @@
+#include "src/sim/trace.h"
+
+#include <algorithm>
+#include <sstream>
+
+namespace tetrisched {
+
+const char* ToString(TraceEventKind kind) {
+  switch (kind) {
+    case TraceEventKind::kSubmit:
+      return "submit";
+    case TraceEventKind::kStart:
+      return "start";
+    case TraceEventKind::kComplete:
+      return "complete";
+    case TraceEventKind::kDrop:
+      return "drop";
+    case TraceEventKind::kPreempt:
+      return "preempt";
+    case TraceEventKind::kFailureKill:
+      return "failure-kill";
+    case TraceEventKind::kNodeFail:
+      return "node-fail";
+    case TraceEventKind::kNodeRecover:
+      return "node-recover";
+    case TraceEventKind::kCycle:
+      return "cycle";
+  }
+  return "?";
+}
+
+int SimTrace::CountKind(TraceEventKind kind) const {
+  int count = 0;
+  for (const TraceEvent& event : events_) {
+    if (event.kind == kind) {
+      ++count;
+    }
+  }
+  return count;
+}
+
+std::string SimTrace::ToCsv() const {
+  std::ostringstream out;
+  out << "time,kind,job,node,count,value\n";
+  for (const TraceEvent& event : events_) {
+    out << event.time << ',' << ToString(event.kind) << ',' << event.job
+        << ',' << event.node << ',' << event.count << ',' << event.value
+        << '\n';
+  }
+  return out.str();
+}
+
+std::string SimTrace::RenderUtilizationTimeline(int cluster_nodes,
+                                                int buckets) const {
+  if (events_.empty() || cluster_nodes <= 0 || buckets <= 0) {
+    return "(empty trace)";
+  }
+  SimTime end = 0;
+  for (const TraceEvent& event : events_) {
+    end = std::max(end, event.time);
+  }
+  if (end == 0) {
+    end = 1;
+  }
+
+  // Busy-node delta sweep.
+  std::vector<std::pair<SimTime, int>> deltas;
+  for (const TraceEvent& event : events_) {
+    switch (event.kind) {
+      case TraceEventKind::kStart:
+        deltas.emplace_back(event.time, event.count);
+        break;
+      case TraceEventKind::kComplete:
+      case TraceEventKind::kPreempt:
+      case TraceEventKind::kFailureKill:
+        deltas.emplace_back(event.time, -event.count);
+        break;
+      default:
+        break;
+    }
+  }
+  std::sort(deltas.begin(), deltas.end());
+
+  // Integrate busy node-time per bucket.
+  std::vector<double> busy_time(buckets, 0.0);
+  double bucket_width = static_cast<double>(end) / buckets;
+  int busy = 0;
+  SimTime prev = 0;
+  auto accumulate = [&](SimTime from, SimTime to, int level) {
+    if (to <= from || level <= 0) {
+      return;
+    }
+    int first = std::min(buckets - 1, static_cast<int>(from / bucket_width));
+    int last = std::min(buckets - 1, static_cast<int>((to - 1) / bucket_width));
+    for (int b = first; b <= last; ++b) {
+      double lo = std::max<double>(static_cast<double>(from), b * bucket_width);
+      double hi =
+          std::min<double>(static_cast<double>(to), (b + 1) * bucket_width);
+      if (hi > lo) {
+        busy_time[b] += (hi - lo) * level;
+      }
+    }
+  };
+  for (const auto& [time, delta] : deltas) {
+    accumulate(prev, time, busy);
+    busy += delta;
+    prev = time;
+  }
+  accumulate(prev, end, busy);
+
+  std::ostringstream out;
+  out << "utilization 0%..100% over " << FormatSimTime(end) << "\n[";
+  for (int b = 0; b < buckets; ++b) {
+    double fraction =
+        busy_time[b] / (bucket_width * static_cast<double>(cluster_nodes));
+    int level = static_cast<int>(fraction * 10.0 + 0.5);
+    if (level <= 0) {
+      out << '.';
+    } else if (level >= 10) {
+      out << '#';
+    } else {
+      out << static_cast<char>('0' + level);
+    }
+  }
+  out << "]";
+  return out.str();
+}
+
+}  // namespace tetrisched

@@ -1,0 +1,64 @@
+// Structured simulation trace: every scheduling-relevant event (submission,
+// start, completion, drop, preemption, node failure/recovery, cycle) with
+// timestamps, exportable as CSV for offline analysis and renderable as an
+// ASCII cluster-utilization timeline. Attach one to SimConfig::trace to
+// record a run.
+
+#ifndef TETRISCHED_SIM_TRACE_H_
+#define TETRISCHED_SIM_TRACE_H_
+
+#include <string>
+#include <vector>
+
+#include "src/common/time.h"
+#include "src/core/job.h"
+
+namespace tetrisched {
+
+enum class TraceEventKind {
+  kSubmit,
+  kStart,
+  kComplete,
+  kDrop,
+  kPreempt,
+  kFailureKill,  // job killed because a node under it died
+  kNodeFail,
+  kNodeRecover,
+  kCycle,
+};
+
+const char* ToString(TraceEventKind kind);
+
+struct TraceEvent {
+  SimTime time = 0;
+  TraceEventKind kind = TraceEventKind::kCycle;
+  JobId job = -1;     // job events; -1 otherwise
+  int32_t node = -1;  // node failure/recovery events; -1 otherwise
+  int32_t count = 0;  // gang size on start, pending depth on cycle
+  double value = 0.0; // cycle latency (ms) on kCycle, 0 otherwise
+};
+
+class SimTrace {
+ public:
+  void Record(TraceEvent event) { events_.push_back(event); }
+
+  const std::vector<TraceEvent>& events() const { return events_; }
+  size_t size() const { return events_.size(); }
+  int CountKind(TraceEventKind kind) const;
+
+  // "time,kind,job,node,count,value" rows with a header line.
+  std::string ToCsv() const;
+
+  // ASCII utilization timeline: one row of '0'..'9'/'#' glyphs, each bucket
+  // showing busy-node fraction of `cluster_nodes` over `buckets` equal time
+  // slices (derived from start/complete/preempt/kill events).
+  std::string RenderUtilizationTimeline(int cluster_nodes,
+                                        int buckets = 60) const;
+
+ private:
+  std::vector<TraceEvent> events_;
+};
+
+}  // namespace tetrisched
+
+#endif  // TETRISCHED_SIM_TRACE_H_

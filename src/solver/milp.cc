@@ -1,0 +1,400 @@
+#include "src/solver/milp.h"
+
+#include <algorithm>
+#include <chrono>
+#include <cmath>
+#include <memory>
+#include <queue>
+
+#include "src/common/logging.h"
+#include "src/solver/presolve.h"
+
+namespace tetrisched {
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+struct BoundChange {
+  VarId var;
+  double lower;
+  double upper;
+};
+
+struct Node {
+  double bound;  // parent LP bound (optimistic estimate for this node)
+  std::vector<BoundChange> changes;
+  int depth = 0;
+  uint64_t seq = 0;  // tie-break for deterministic ordering
+};
+
+struct NodeOrder {
+  // Max-heap on bound; deeper nodes win ties (tends to find incumbents),
+  // then insertion order for determinism.
+  bool operator()(const std::shared_ptr<Node>& a,
+                  const std::shared_ptr<Node>& b) const {
+    if (a->bound != b->bound) {
+      return a->bound < b->bound;
+    }
+    if (a->depth != b->depth) {
+      return a->depth < b->depth;
+    }
+    return a->seq > b->seq;
+  }
+};
+
+// Picks the integer-like variable whose LP value is most fractional,
+// preferring binaries (choice indicators) over general integers (partition
+// counts) — indicator integrality usually drags the counts along.
+int MostFractionalVar(const MilpModel& model, std::span<const double> values,
+                      double int_tol) {
+  int best_binary = -1;
+  double best_binary_score = int_tol;
+  int best_integer = -1;
+  double best_integer_score = int_tol;
+  for (int v = 0; v < model.num_vars(); ++v) {
+    if (!model.IsIntegerLike(v)) {
+      continue;
+    }
+    double x = values[v];
+    double frac = x - std::floor(x);
+    double score = std::min(frac, 1.0 - frac);
+    if (model.var_type(v) == VarType::kBinary) {
+      if (score > best_binary_score) {
+        best_binary_score = score;
+        best_binary = v;
+      }
+    } else if (score > best_integer_score) {
+      best_integer_score = score;
+      best_integer = v;
+    }
+  }
+  return best_binary >= 0 ? best_binary : best_integer;
+}
+
+// Rounds integer-like entries to the nearest integer (for clean incumbents).
+std::vector<double> RoundedCopy(const MilpModel& model,
+                                std::span<const double> values) {
+  std::vector<double> rounded(values.begin(), values.end());
+  for (int v = 0; v < model.num_vars(); ++v) {
+    if (model.IsIntegerLike(v)) {
+      rounded[v] = std::round(rounded[v]);
+    }
+  }
+  return rounded;
+}
+
+}  // namespace
+
+MilpSolver::MilpSolver(const MilpModel& model, MilpOptions options)
+    : model_(model), options_(options) {}
+
+MilpResult MilpSolver::Solve(std::span<const double> warm_start) {
+  const auto start_time = Clock::now();
+  auto elapsed = [&]() {
+    return std::chrono::duration<double>(Clock::now() - start_time).count();
+  };
+
+  if (options_.enable_presolve) {
+    Presolver presolver(model_);
+    if (presolver.infeasible()) {
+      MilpResult result;
+      result.status = MilpStatus::kInfeasible;
+      result.solve_seconds = elapsed();
+      return result;
+    }
+    if (presolver.num_fixed_vars() > 0 ||
+        presolver.num_dropped_rows() > 0) {
+      std::vector<double> projected_warm;
+      if (!warm_start.empty() &&
+          static_cast<int>(warm_start.size()) == model_.num_vars()) {
+        projected_warm = presolver.ProjectSolution(warm_start);
+      }
+      MilpOptions inner_options = options_;
+      inner_options.enable_presolve = false;
+      MilpSolver inner(presolver.reduced(), inner_options);
+      MilpResult result = inner.Solve(projected_warm);
+      if (result.HasSolution()) {
+        result.values = presolver.RestoreSolution(result.values);
+        result.objective = model_.ObjectiveValue(result.values);
+      }
+      result.best_bound += presolver.objective_offset();
+      result.solve_seconds = elapsed();
+      return result;
+    }
+  }
+
+  MilpResult result;
+  const int n = model_.num_vars();
+
+  LpSolver lp(model_, options_.lp);
+
+  std::vector<double> root_lower(n), root_upper(n);
+  for (int v = 0; v < n; ++v) {
+    root_lower[v] = model_.lower_bound(v);
+    root_upper[v] = model_.upper_bound(v);
+  }
+
+  bool have_incumbent = false;
+  double incumbent_obj = -kInfinity;
+  std::vector<double> incumbent;
+
+  int nodes_since_improvement = 0;
+  auto offer_incumbent = [&](std::span<const double> values) {
+    std::vector<double> rounded = RoundedCopy(model_, values);
+    if (!model_.IsFeasible(rounded, 1e-5)) {
+      return false;
+    }
+    double obj = model_.ObjectiveValue(rounded);
+    if (!have_incumbent || obj > incumbent_obj) {
+      if (have_incumbent && obj > incumbent_obj + options_.abs_gap) {
+        nodes_since_improvement = 0;
+      }
+      incumbent = std::move(rounded);
+      incumbent_obj = obj;
+      have_incumbent = true;
+    }
+    return true;
+  };
+
+  // Caller-provided warm start (e.g. last cycle's plan), checked first.
+  if (!warm_start.empty() && static_cast<int>(warm_start.size()) == n) {
+    offer_incumbent(warm_start);
+  }
+  // Zero-clamped fallback: in scheduling models "assign nothing" is always
+  // feasible, which guarantees the solver never returns empty-handed on a
+  // time limit.
+  {
+    std::vector<double> zero(n);
+    for (int v = 0; v < n; ++v) {
+      zero[v] = std::clamp(0.0, root_lower[v], root_upper[v]);
+    }
+    offer_incumbent(zero);
+  }
+
+  // Diving heuristic: from a fractional LP point, repeatedly fix the most
+  // fractional integer to a rounding (trying the nearer side first, the
+  // other side on infeasibility) until integral. Cheap and effective on
+  // packing structures; used at the root and periodically during the search.
+  auto dive = [&](const std::vector<double>& from_lower,
+                  const std::vector<double>& from_upper, LpResult start_relax,
+                  const LpBasis* start_basis) {
+    std::vector<double> dive_lower = from_lower;
+    std::vector<double> dive_upper = from_upper;
+    LpResult relax = std::move(start_relax);
+    LpBasis basis;
+    const LpBasis* warm = start_basis;
+    for (int step = 0; step < 2 * n + 16; ++step) {
+      int v = MostFractionalVar(model_, relax.values, options_.int_tol);
+      if (v < 0) {
+        offer_incumbent(relax.values);
+        return;
+      }
+      double x = relax.values[v];
+      double near = std::clamp(std::round(x), dive_lower[v], dive_upper[v]);
+      double far = near > x ? std::floor(x) : std::ceil(x);
+      far = std::clamp(far, dive_lower[v], dive_upper[v]);
+
+      double saved_lower = dive_lower[v];
+      double saved_upper = dive_upper[v];
+      dive_lower[v] = near;
+      dive_upper[v] = near;
+      LpResult next = lp.Solve(dive_lower, dive_upper, warm);
+      result.lp_iterations += next.iterations;
+      if (next.status != LpStatus::kOptimal && far != near) {
+        dive_lower[v] = far;
+        dive_upper[v] = far;
+        next = lp.Solve(dive_lower, dive_upper, warm);
+        result.lp_iterations += next.iterations;
+      }
+      if (next.status != LpStatus::kOptimal) {
+        // Both roundings failed: release the variable and stop diving.
+        dive_lower[v] = saved_lower;
+        dive_upper[v] = saved_upper;
+        return;
+      }
+      relax = std::move(next);
+      basis = lp.BasisSnapshot();
+      warm = &basis;
+      if (elapsed() > options_.time_limit_seconds) {
+        return;
+      }
+    }
+  };
+
+  // Root relaxation.
+  LpResult root = lp.Solve(root_lower, root_upper, nullptr);
+  result.lp_iterations += root.iterations;
+  result.nodes = 1;
+  if (root.status == LpStatus::kInfeasible) {
+    result.status =
+        have_incumbent ? MilpStatus::kFeasible : MilpStatus::kInfeasible;
+    if (have_incumbent) {
+      result.objective = incumbent_obj;
+      result.values = incumbent;
+      result.best_bound = incumbent_obj;
+    }
+    result.solve_seconds = elapsed();
+    return result;
+  }
+  if (root.status == LpStatus::kUnbounded) {
+    result.status = MilpStatus::kUnbounded;
+    result.solve_seconds = elapsed();
+    return result;
+  }
+  if (root.status == LpStatus::kIterationLimit) {
+    TETRI_LOG(kWarning) << "LP iteration limit at root; bound may be loose";
+  }
+
+  double global_bound = root.objective;
+  LpBasis last_basis = lp.BasisSnapshot();
+
+  auto gap_satisfied = [&](double bound) {
+    if (!have_incumbent) {
+      return false;
+    }
+    double gap = bound - incumbent_obj;
+    if (gap <= options_.abs_gap) {
+      return true;
+    }
+    return gap <= options_.rel_gap * std::max(std::abs(incumbent_obj), 1e-9);
+  };
+
+  int root_branch_var =
+      MostFractionalVar(model_, root.values, options_.int_tol);
+  if (root_branch_var < 0) {
+    offer_incumbent(root.values);
+    result.status = MilpStatus::kOptimal;
+    result.objective = incumbent_obj;
+    result.values = incumbent;
+    result.best_bound = root.objective;
+    result.solve_seconds = elapsed();
+    return result;
+  }
+  if (options_.enable_diving) {
+    dive(root_lower, root_upper, root, &last_basis);
+  }
+
+  // Best-bound branch and bound with periodic re-diving.
+  std::priority_queue<std::shared_ptr<Node>, std::vector<std::shared_ptr<Node>>,
+                      NodeOrder>
+      open;
+  uint64_t next_seq = 0;
+  {
+    auto node = std::make_shared<Node>();
+    node->bound = root.objective;
+    node->seq = next_seq++;
+    open.push(std::move(node));
+  }
+
+  std::vector<double> lower(n), upper(n);
+  bool limits_hit = false;
+  constexpr int kDiveEvery = 64;
+
+  while (!open.empty()) {
+    if (result.nodes >= options_.max_nodes ||
+        elapsed() > options_.time_limit_seconds) {
+      limits_hit = true;
+      break;
+    }
+    if (options_.stall_node_limit > 0 && have_incumbent &&
+        nodes_since_improvement >= options_.stall_node_limit) {
+      limits_hit = true;
+      break;
+    }
+    std::shared_ptr<Node> node = open.top();
+    global_bound = node->bound;
+    if (gap_satisfied(global_bound)) {
+      break;
+    }
+    open.pop();
+    if (have_incumbent && node->bound <= incumbent_obj + options_.abs_gap) {
+      continue;  // cannot improve on the incumbent
+    }
+
+    lower = root_lower;
+    upper = root_upper;
+    for (const BoundChange& change : node->changes) {
+      lower[change.var] = std::max(lower[change.var], change.lower);
+      upper[change.var] = std::min(upper[change.var], change.upper);
+    }
+
+    LpResult relax = lp.Solve(lower, upper, &last_basis);
+    ++result.nodes;
+    ++nodes_since_improvement;
+    result.lp_iterations += relax.iterations;
+    if (relax.status == LpStatus::kInfeasible) {
+      continue;
+    }
+    if (relax.status == LpStatus::kIterationLimit) {
+      TETRI_LOG(kWarning) << "LP iteration limit inside B&B node; pruning";
+      continue;
+    }
+    if (relax.status == LpStatus::kUnbounded) {
+      result.status = MilpStatus::kUnbounded;
+      result.solve_seconds = elapsed();
+      return result;
+    }
+    last_basis = lp.BasisSnapshot();
+
+    double node_bound = std::min(node->bound, relax.objective);
+    if (have_incumbent && node_bound <= incumbent_obj + options_.abs_gap) {
+      continue;
+    }
+
+    int branch_var = MostFractionalVar(model_, relax.values, options_.int_tol);
+    if (branch_var < 0) {
+      offer_incumbent(relax.values);
+      continue;
+    }
+
+    if (options_.enable_diving && result.nodes % kDiveEvery == 0) {
+      dive(lower, upper, relax, &last_basis);
+      if (gap_satisfied(node_bound)) {
+        continue;
+      }
+    }
+
+    double x = relax.values[branch_var];
+    auto down = std::make_shared<Node>();
+    down->bound = node_bound;
+    down->depth = node->depth + 1;
+    down->seq = next_seq++;
+    down->changes = node->changes;
+    down->changes.push_back({branch_var, -kInfinity, std::floor(x)});
+    open.push(std::move(down));
+
+    auto up = std::make_shared<Node>();
+    up->bound = node_bound;
+    up->depth = node->depth + 1;
+    up->seq = next_seq++;
+    up->changes = node->changes;
+    up->changes.push_back({branch_var, std::ceil(x), kInfinity});
+    open.push(std::move(up));
+  }
+
+  if (!open.empty()) {
+    global_bound = open.top()->bound;
+  } else if (have_incumbent) {
+    global_bound = incumbent_obj;  // search exhausted: incumbent is optimal
+  }
+
+  result.best_bound = global_bound;
+  result.solve_seconds = elapsed();
+  if (!have_incumbent) {
+    result.status =
+        limits_hit ? MilpStatus::kNoSolution : MilpStatus::kInfeasible;
+    return result;
+  }
+  result.objective = incumbent_obj;
+  result.values = incumbent;
+  if (open.empty() || global_bound <= incumbent_obj + options_.abs_gap) {
+    result.status = MilpStatus::kOptimal;
+  } else if (gap_satisfied(global_bound)) {
+    result.status = MilpStatus::kGapLimit;
+  } else {
+    result.status = MilpStatus::kFeasible;
+  }
+  return result;
+}
+
+}  // namespace tetrisched

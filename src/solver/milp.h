@@ -1,0 +1,81 @@
+// Branch-and-bound MILP solver over the bounded-variable simplex.
+//
+// Mirrors the way TetriSched drives CPLEX in the paper (§3.2.2): the solver
+// is asked for a solution within a relative optimality gap (10% default)
+// under a wall-clock budget, and can be seeded with a feasible warm-start
+// incumbent (the previous cycle's schedule). If the budget expires, the best
+// incumbent found so far is returned rather than failing.
+//
+// Search: best-bound node selection, most-fractional branching, and a diving
+// heuristic at the root to obtain an incumbent quickly.
+
+#ifndef TETRISCHED_SOLVER_MILP_H_
+#define TETRISCHED_SOLVER_MILP_H_
+
+#include <span>
+#include <vector>
+
+#include "src/solver/model.h"
+#include "src/solver/simplex.h"
+
+namespace tetrisched {
+
+enum class MilpStatus {
+  kOptimal,     // proven within abs gap of the true optimum
+  kGapLimit,    // feasible, proven within the requested relative gap
+  kFeasible,    // feasible, but node/time limit hit before proving the gap
+  kInfeasible,  // no feasible assignment exists
+  kUnbounded,
+  kNoSolution,  // limits hit before any incumbent was found
+};
+
+struct MilpOptions {
+  double rel_gap = 0.10;         // paper: "within 10% of the optimal"
+  double abs_gap = 1e-6;
+  int max_nodes = 20000;
+  double time_limit_seconds = 10.0;
+  double int_tol = 1e-6;
+  bool enable_diving = true;     // root diving heuristic for a fast incumbent
+  // Stop after this many B&B nodes without incumbent improvement and return
+  // the incumbent (status kFeasible). 0 disables. The equivalent of a
+  // commercial solver's "solution polishing" abort: on scheduling models the
+  // bound is loose, so proving the gap often costs far more than finding the
+  // near-optimal solution.
+  int stall_node_limit = 0;
+  // Exact model reductions before search (see presolve.h). On by default;
+  // disable to measure its effect.
+  bool enable_presolve = true;
+  LpOptions lp;
+};
+
+struct MilpResult {
+  MilpStatus status = MilpStatus::kNoSolution;
+  double objective = 0.0;        // incumbent objective (valid unless kNoSolution)
+  std::vector<double> values;    // incumbent assignment
+  double best_bound = 0.0;       // proven upper bound on the optimum
+  int nodes = 0;
+  long lp_iterations = 0;
+  double solve_seconds = 0.0;
+
+  bool HasSolution() const {
+    return status == MilpStatus::kOptimal || status == MilpStatus::kGapLimit ||
+           status == MilpStatus::kFeasible;
+  }
+};
+
+class MilpSolver {
+ public:
+  explicit MilpSolver(const MilpModel& model, MilpOptions options = {});
+
+  // `warm_start`, if non-empty, is checked for feasibility and used as the
+  // initial incumbent (size must be model.num_vars()).
+  MilpResult Solve(std::span<const double> warm_start = {});
+
+ private:
+  const MilpModel& model_;
+  MilpOptions options_;
+};
+
+}  // namespace tetrisched
+
+#endif  // TETRISCHED_SOLVER_MILP_H_

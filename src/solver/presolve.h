@@ -1,0 +1,69 @@
+// MILP presolve: cheap model reductions applied before branch and bound.
+//
+// The STRL compiler's models carry easy structure a real solver exploits
+// before searching — most notably culled options pinned to zero
+// (`I <= 0` singleton rows) and demand rows whose indicator got fixed. The
+// presolver iterates three reductions to a fixed point:
+//
+//   1. singleton rows  -> variable bound tightening, row dropped,
+//   2. integral bound rounding (ceil/floor for integer-like variables),
+//   3. fixed variables (lb == ub) -> folded into the remaining rows' rhs
+//      and removed from the model.
+//
+// The reduced model solves faster; RestoreSolution() maps its solutions back
+// to the original variable space. Presolve is exact: it never cuts off an
+// optimal solution, and it detects some infeasibilities outright.
+
+#ifndef TETRISCHED_SOLVER_PRESOLVE_H_
+#define TETRISCHED_SOLVER_PRESOLVE_H_
+
+#include <span>
+#include <vector>
+
+#include "src/solver/model.h"
+
+namespace tetrisched {
+
+class Presolver {
+ public:
+  explicit Presolver(const MilpModel& original);
+
+  // True when presolve proved the model infeasible; reduced() is then
+  // meaningless.
+  bool infeasible() const { return infeasible_; }
+
+  const MilpModel& reduced() const { return reduced_; }
+
+  int num_fixed_vars() const { return num_fixed_; }
+  int num_dropped_rows() const { return num_dropped_rows_; }
+
+  // Objective contribution of the eliminated (fixed) variables.
+  double objective_offset() const { return objective_offset_; }
+
+  // Maps a solution of the reduced model back to the original space.
+  std::vector<double> RestoreSolution(
+      std::span<const double> reduced_values) const;
+
+  // Projects an original-space assignment onto the reduced model's
+  // variables (for warm starts). Returns empty if the assignment conflicts
+  // with presolve's fixings.
+  std::vector<double> ProjectSolution(
+      std::span<const double> original_values) const;
+
+ private:
+  const MilpModel& original_;
+  MilpModel reduced_;
+  bool infeasible_ = false;
+  int num_fixed_ = 0;
+  int num_dropped_rows_ = 0;
+  double objective_offset_ = 0.0;
+
+  // Per original variable: index in the reduced model, or -1 if fixed.
+  std::vector<int32_t> var_map_;
+  // Fixed value for eliminated variables (valid where var_map_ == -1).
+  std::vector<double> fixed_value_;
+};
+
+}  // namespace tetrisched
+
+#endif  // TETRISCHED_SOLVER_PRESOLVE_H_

@@ -1,0 +1,275 @@
+#include "src/strl/parser.h"
+
+#include <cctype>
+#include <charconv>
+#include <cstdlib>
+#include <sstream>
+
+namespace tetrisched {
+namespace {
+
+class Parser {
+ public:
+  explicit Parser(std::string_view text) : text_(text) {}
+
+  StrlParseResult Run() {
+    StrlParseResult result;
+    std::optional<StrlExpr> expr = ParseExpr();
+    SkipSpace();
+    if (expr.has_value() && pos_ != text_.size()) {
+      Fail("trailing input");
+      expr.reset();
+    }
+    if (!expr.has_value()) {
+      result.error = error_;
+      return result;
+    }
+    result.expr = std::move(expr);
+    return result;
+  }
+
+ private:
+  void SkipSpace() {
+    while (pos_ < text_.size() &&
+           std::isspace(static_cast<unsigned char>(text_[pos_]))) {
+      ++pos_;
+    }
+  }
+
+  bool Peek(char c) {
+    SkipSpace();
+    return pos_ < text_.size() && text_[pos_] == c;
+  }
+
+  bool Consume(char c) {
+    if (Peek(c)) {
+      ++pos_;
+      return true;
+    }
+    return false;
+  }
+
+  bool Expect(char c) {
+    if (Consume(c)) {
+      return true;
+    }
+    std::ostringstream out;
+    out << "expected '" << c << "'";
+    Fail(out.str());
+    return false;
+  }
+
+  void Fail(const std::string& message) {
+    if (error_.empty()) {
+      std::ostringstream out;
+      out << message << " at offset " << pos_;
+      error_ = out.str();
+    }
+  }
+
+  // Reads an identifier ([A-Za-z]+).
+  std::string ReadWord() {
+    SkipSpace();
+    size_t start = pos_;
+    while (pos_ < text_.size() &&
+           std::isalpha(static_cast<unsigned char>(text_[pos_]))) {
+      ++pos_;
+    }
+    return std::string(text_.substr(start, pos_ - start));
+  }
+
+  std::optional<int64_t> ReadInt() {
+    SkipSpace();
+    size_t start = pos_;
+    if (pos_ < text_.size() && (text_[pos_] == '-' || text_[pos_] == '+')) {
+      ++pos_;
+    }
+    while (pos_ < text_.size() &&
+           std::isdigit(static_cast<unsigned char>(text_[pos_]))) {
+      ++pos_;
+    }
+    int64_t value = 0;
+    auto [ptr, ec] = std::from_chars(text_.data() + start, text_.data() + pos_,
+                                     value);
+    if (ec != std::errc() || ptr != text_.data() + pos_ || pos_ == start) {
+      Fail("expected integer");
+      return std::nullopt;
+    }
+    return value;
+  }
+
+  std::optional<double> ReadReal() {
+    SkipSpace();
+    size_t start = pos_;
+    while (pos_ < text_.size() &&
+           (std::isdigit(static_cast<unsigned char>(text_[pos_])) ||
+            text_[pos_] == '.' || text_[pos_] == '-' || text_[pos_] == '+' ||
+            text_[pos_] == 'e' || text_[pos_] == 'E')) {
+      ++pos_;
+    }
+    if (pos_ == start) {
+      Fail("expected number");
+      return std::nullopt;
+    }
+    std::string token(text_.substr(start, pos_ - start));
+    char* end = nullptr;
+    double value = std::strtod(token.c_str(), &end);
+    if (end != token.c_str() + token.size()) {
+      Fail("malformed number");
+      return std::nullopt;
+    }
+    return value;
+  }
+
+  // "key=" with the given key, e.g. k= / s= / dur= / v=.
+  bool ExpectKey(std::string_view key) {
+    SkipSpace();
+    if (text_.substr(pos_, key.size()) == key) {
+      pos_ += key.size();
+      return true;
+    }
+    std::ostringstream out;
+    out << "expected '" << key << "'";
+    Fail(out.str());
+    return false;
+  }
+
+  std::optional<PartitionSet> ParsePartitionSet() {
+    if (!Expect('{')) {
+      return std::nullopt;
+    }
+    PartitionSet set;
+    do {
+      SkipSpace();
+      if (!Consume('p')) {
+        Fail("expected partition 'pN'");
+        return std::nullopt;
+      }
+      std::optional<int64_t> id = ReadInt();
+      if (!id.has_value()) {
+        return std::nullopt;
+      }
+      set.push_back(static_cast<PartitionId>(*id));
+    } while (Consume(','));
+    if (!Expect('}')) {
+      return std::nullopt;
+    }
+    return set;
+  }
+
+  std::optional<StrlExpr> ParseLeaf(bool linear) {
+    if (!Expect('(')) {
+      return std::nullopt;
+    }
+    std::optional<PartitionSet> partitions = ParsePartitionSet();
+    if (!partitions.has_value() || !Expect(',') || !ExpectKey("k=")) {
+      return std::nullopt;
+    }
+    std::optional<int64_t> k = ReadInt();
+    if (!k.has_value() || *k <= 0 || !Expect(',') || !ExpectKey("s=")) {
+      if (k.has_value() && *k <= 0) {
+        Fail("k must be positive");
+      }
+      return std::nullopt;
+    }
+    std::optional<int64_t> start = ReadInt();
+    if (!start.has_value() || !Expect(',') || !ExpectKey("dur=")) {
+      return std::nullopt;
+    }
+    std::optional<int64_t> dur = ReadInt();
+    if (!dur.has_value() || *dur <= 0 || !Expect(',') || !ExpectKey("v=")) {
+      if (dur.has_value() && *dur <= 0) {
+        Fail("dur must be positive");
+      }
+      return std::nullopt;
+    }
+    std::optional<double> value = ReadReal();
+    if (!value.has_value() || !Expect(')')) {
+      return std::nullopt;
+    }
+    StrlExpr leaf =
+        linear ? LnCk(std::move(*partitions), static_cast<int>(*k), *start,
+                      *dur, *value, next_tag_)
+               : NCk(std::move(*partitions), static_cast<int>(*k), *start,
+                     *dur, *value, next_tag_);
+    ++next_tag_;
+    return leaf;
+  }
+
+  std::optional<std::vector<StrlExpr>> ParseChildren() {
+    if (!Expect('(')) {
+      return std::nullopt;
+    }
+    std::vector<StrlExpr> children;
+    do {
+      std::optional<StrlExpr> child = ParseExpr();
+      if (!child.has_value()) {
+        return std::nullopt;
+      }
+      children.push_back(std::move(*child));
+    } while (Consume(','));
+    if (!Expect(')')) {
+      return std::nullopt;
+    }
+    return children;
+  }
+
+  std::optional<StrlExpr> ParseScalarOp(bool is_scale) {
+    if (!Expect('(')) {
+      return std::nullopt;
+    }
+    std::optional<double> scalar = ReadReal();
+    if (!scalar.has_value() || !Expect(',')) {
+      return std::nullopt;
+    }
+    std::optional<StrlExpr> child = ParseExpr();
+    if (!child.has_value() || !Expect(')')) {
+      return std::nullopt;
+    }
+    return is_scale ? Scale(std::move(*child), *scalar)
+                    : Barrier(std::move(*child), *scalar);
+  }
+
+  std::optional<StrlExpr> ParseExpr() {
+    std::string word = ReadWord();
+    if (word == "nCk") {
+      return ParseLeaf(/*linear=*/false);
+    }
+    if (word == "LnCk") {
+      return ParseLeaf(/*linear=*/true);
+    }
+    if (word == "max" || word == "min" || word == "sum") {
+      std::optional<std::vector<StrlExpr>> children = ParseChildren();
+      if (!children.has_value()) {
+        return std::nullopt;
+      }
+      if (word == "max") {
+        return Max(std::move(*children));
+      }
+      if (word == "min") {
+        return Min(std::move(*children));
+      }
+      return Sum(std::move(*children));
+    }
+    if (word == "scale") {
+      return ParseScalarOp(/*is_scale=*/true);
+    }
+    if (word == "barrier") {
+      return ParseScalarOp(/*is_scale=*/false);
+    }
+    Fail(word.empty() ? "expected expression"
+                      : "unknown operator '" + word + "'");
+    return std::nullopt;
+  }
+
+  std::string_view text_;
+  size_t pos_ = 0;
+  std::string error_;
+  LeafTag next_tag_ = 1;
+};
+
+}  // namespace
+
+StrlParseResult ParseStrl(std::string_view text) { return Parser(text).Run(); }
+
+}  // namespace tetrisched

@@ -1,0 +1,40 @@
+// Textual STRL parser: the inverse of ToString().
+//
+// Grammar (whitespace-insensitive):
+//
+//   expr     := leaf | op
+//   leaf     := ("nCk" | "LnCk") "(" pset "," kv... ")"
+//   pset     := "{" "p" INT ("," "p" INT)* "}"
+//   kv       := "k=" INT | "s=" INT | "dur=" INT | "v=" REAL
+//   op       := ("max" | "min" | "sum") "(" expr ("," expr)* ")"
+//             | "scale" "(" REAL "," expr ")"
+//             | "barrier" "(" REAL "," expr ")"
+//
+// Example:  max(nCk({p0,p1}, k=2, s=0, dur=10, v=4), nCk({p2}, k=1, s=0,
+//           dur=20, v=1))
+//
+// Leaf tags are not part of the textual form; ParseStrl assigns fresh
+// sequential tags (1, 2, ...) in leaf order so parsed expressions can be
+// compiled and their solutions extracted immediately.
+
+#ifndef TETRISCHED_STRL_PARSER_H_
+#define TETRISCHED_STRL_PARSER_H_
+
+#include <optional>
+#include <string>
+#include <string_view>
+
+#include "src/strl/strl.h"
+
+namespace tetrisched {
+
+struct StrlParseResult {
+  std::optional<StrlExpr> expr;
+  std::string error;  // non-empty iff expr is nullopt; includes position
+};
+
+StrlParseResult ParseStrl(std::string_view text);
+
+}  // namespace tetrisched
+
+#endif  // TETRISCHED_STRL_PARSER_H_

@@ -1,0 +1,203 @@
+#include "src/strl/strl.h"
+
+#include <algorithm>
+#include <cassert>
+#include <limits>
+#include <sstream>
+
+namespace tetrisched {
+
+StrlExpr NCk(PartitionSet partitions, int k, SimTime start, SimDuration dur,
+             double value, LeafTag tag) {
+  assert(k > 0 && dur > 0 && !partitions.empty());
+  StrlExpr expr;
+  expr.kind = StrlKind::kNCk;
+  expr.partitions = std::move(partitions);
+  expr.k = k;
+  expr.start = start;
+  expr.duration = dur;
+  expr.value = value;
+  expr.tag = tag;
+  return expr;
+}
+
+StrlExpr LnCk(PartitionSet partitions, int k, SimTime start, SimDuration dur,
+              double value, LeafTag tag) {
+  StrlExpr expr = NCk(std::move(partitions), k, start, dur, value, tag);
+  expr.kind = StrlKind::kLnCk;
+  return expr;
+}
+
+namespace {
+
+StrlExpr MakeOperator(StrlKind kind, std::vector<StrlExpr> children) {
+  assert(!children.empty());
+  StrlExpr expr;
+  expr.kind = kind;
+  expr.children = std::move(children);
+  return expr;
+}
+
+}  // namespace
+
+StrlExpr Max(std::vector<StrlExpr> children) {
+  return MakeOperator(StrlKind::kMax, std::move(children));
+}
+
+StrlExpr Min(std::vector<StrlExpr> children) {
+  return MakeOperator(StrlKind::kMin, std::move(children));
+}
+
+StrlExpr Sum(std::vector<StrlExpr> children) {
+  return MakeOperator(StrlKind::kSum, std::move(children));
+}
+
+StrlExpr Scale(StrlExpr child, double factor) {
+  StrlExpr expr;
+  expr.kind = StrlKind::kScale;
+  expr.scalar = factor;
+  expr.children.push_back(std::move(child));
+  return expr;
+}
+
+StrlExpr Barrier(StrlExpr child, double threshold) {
+  StrlExpr expr;
+  expr.kind = StrlKind::kBarrier;
+  expr.scalar = threshold;
+  expr.children.push_back(std::move(child));
+  return expr;
+}
+
+int CountLeaves(const StrlExpr& expr) {
+  if (expr.IsLeaf()) {
+    return 1;
+  }
+  int total = 0;
+  for (const StrlExpr& child : expr.children) {
+    total += CountLeaves(child);
+  }
+  return total;
+}
+
+int CountNodes(const StrlExpr& expr) {
+  int total = 1;
+  for (const StrlExpr& child : expr.children) {
+    total += CountNodes(child);
+  }
+  return total;
+}
+
+namespace {
+
+void AppendString(const StrlExpr& expr, std::ostringstream& out) {
+  switch (expr.kind) {
+    case StrlKind::kNCk:
+    case StrlKind::kLnCk: {
+      out << (expr.kind == StrlKind::kNCk ? "nCk({" : "LnCk({");
+      for (size_t i = 0; i < expr.partitions.size(); ++i) {
+        if (i > 0) {
+          out << ",";
+        }
+        out << "p" << expr.partitions[i];
+      }
+      out << "}, k=" << expr.k << ", s=" << expr.start
+          << ", dur=" << expr.duration << ", v=" << expr.value << ")";
+      return;
+    }
+    case StrlKind::kMax:
+      out << "max(";
+      break;
+    case StrlKind::kMin:
+      out << "min(";
+      break;
+    case StrlKind::kSum:
+      out << "sum(";
+      break;
+    case StrlKind::kScale:
+      out << "scale(" << expr.scalar << ", ";
+      break;
+    case StrlKind::kBarrier:
+      out << "barrier(" << expr.scalar << ", ";
+      break;
+  }
+  for (size_t i = 0; i < expr.children.size(); ++i) {
+    if (i > 0) {
+      out << ", ";
+    }
+    AppendString(expr.children[i], out);
+  }
+  out << ")";
+}
+
+}  // namespace
+
+std::string ToString(const StrlExpr& expr) {
+  std::ostringstream out;
+  AppendString(expr, out);
+  return out.str();
+}
+
+double EvaluateStrl(const StrlExpr& expr, const LeafGrants& grants) {
+  switch (expr.kind) {
+    case StrlKind::kNCk: {
+      auto it = grants.find(expr.tag);
+      if (it == grants.end()) {
+        return 0.0;
+      }
+      int granted = 0;
+      for (const auto& [partition, count] : it->second) {
+        if (std::find(expr.partitions.begin(), expr.partitions.end(),
+                      partition) != expr.partitions.end()) {
+          granted += count;
+        }
+      }
+      return granted >= expr.k ? expr.value : 0.0;
+    }
+    case StrlKind::kLnCk: {
+      auto it = grants.find(expr.tag);
+      if (it == grants.end()) {
+        return 0.0;
+      }
+      int granted = 0;
+      for (const auto& [partition, count] : it->second) {
+        if (std::find(expr.partitions.begin(), expr.partitions.end(),
+                      partition) != expr.partitions.end()) {
+          granted += count;
+        }
+      }
+      granted = std::min(granted, expr.k);
+      return expr.value * static_cast<double>(granted) /
+             static_cast<double>(expr.k);
+    }
+    case StrlKind::kMax: {
+      double best = 0.0;
+      for (const StrlExpr& child : expr.children) {
+        best = std::max(best, EvaluateStrl(child, grants));
+      }
+      return best;
+    }
+    case StrlKind::kMin: {
+      double lowest = std::numeric_limits<double>::infinity();
+      for (const StrlExpr& child : expr.children) {
+        lowest = std::min(lowest, EvaluateStrl(child, grants));
+      }
+      return lowest;
+    }
+    case StrlKind::kSum: {
+      double total = 0.0;
+      for (const StrlExpr& child : expr.children) {
+        total += EvaluateStrl(child, grants);
+      }
+      return total;
+    }
+    case StrlKind::kScale:
+      return expr.scalar * EvaluateStrl(expr.children[0], grants);
+    case StrlKind::kBarrier: {
+      double inner = EvaluateStrl(expr.children[0], grants);
+      return inner >= expr.scalar ? expr.scalar : 0.0;
+    }
+  }
+  return 0.0;
+}
+
+}  // namespace tetrisched

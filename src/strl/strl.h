@@ -1,0 +1,101 @@
+// Space-Time Request Language (STRL) abstract syntax (paper §4).
+//
+// A STRL expression is a function mapping resource space-time shapes to
+// scalar value. Leaves request "any k resources out of an equivalence set,
+// starting at s for duration dur, worth v"; operators multiplex (MAX),
+// enforce uniformity (MIN), aggregate (SUM), amplify (SCALE), or threshold
+// (BARRIER) the value flowing upward:
+//
+//   nCk(eqset, k, start, dur, v)   principal primitive (gang of k)
+//   LnCk(eqset, k, start, dur, v)  linear variant: value v * (granted/k)
+//   max(e1..en)                    choose at most one (soft constraints)
+//   min(e1..en)                    all-or-nothing (anti-affinity, gangs)
+//   sum(e1..en)                    aggregate (global scheduling)
+//   scale(e, s)                    multiply value by s
+//   barrier(e, v)                  v if e's value reaches v, else 0
+//
+// Expressions are plain value types (children owned by vector), rebuilt
+// fresh every scheduling cycle by the STRL generator.
+
+#ifndef TETRISCHED_STRL_STRL_H_
+#define TETRISCHED_STRL_STRL_H_
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "src/cluster/cluster.h"
+#include "src/common/time.h"
+
+namespace tetrisched {
+
+enum class StrlKind {
+  kNCk,
+  kLnCk,
+  kMax,
+  kMin,
+  kSum,
+  kScale,
+  kBarrier,
+};
+
+// Caller-defined identifier attached to leaves so MILP solutions can be
+// mapped back to job placement options.
+using LeafTag = int64_t;
+inline constexpr LeafTag kNoTag = -1;
+
+struct StrlExpr {
+  StrlKind kind = StrlKind::kSum;
+
+  // Leaf fields (kNCk / kLnCk).
+  PartitionSet partitions;
+  int k = 0;
+  SimTime start = 0;
+  SimDuration duration = 0;
+  double value = 0.0;
+  LeafTag tag = kNoTag;
+
+  // kScale factor or kBarrier threshold.
+  double scalar = 0.0;
+
+  std::vector<StrlExpr> children;
+
+  bool IsLeaf() const {
+    return kind == StrlKind::kNCk || kind == StrlKind::kLnCk;
+  }
+  TimeRange interval() const { return {start, start + duration}; }
+};
+
+// --- Factories --------------------------------------------------------------
+
+StrlExpr NCk(PartitionSet partitions, int k, SimTime start, SimDuration dur,
+             double value, LeafTag tag = kNoTag);
+StrlExpr LnCk(PartitionSet partitions, int k, SimTime start, SimDuration dur,
+              double value, LeafTag tag = kNoTag);
+StrlExpr Max(std::vector<StrlExpr> children);
+StrlExpr Min(std::vector<StrlExpr> children);
+StrlExpr Sum(std::vector<StrlExpr> children);
+StrlExpr Scale(StrlExpr child, double factor);
+StrlExpr Barrier(StrlExpr child, double threshold);
+
+// --- Introspection ----------------------------------------------------------
+
+int CountLeaves(const StrlExpr& expr);
+int CountNodes(const StrlExpr& expr);
+std::string ToString(const StrlExpr& expr);
+
+// --- Reference evaluator (for tests) ----------------------------------------
+
+// A concrete space-time allocation: per chosen leaf tag, how many nodes were
+// granted from each partition.
+using LeafGrants = std::map<LeafTag, std::map<PartitionId, int>>;
+
+// Evaluates `expr` against `grants` per STRL semantics. Assumes the grant set
+// is consistent with the expression's choice structure (at most one child of
+// each MAX receives grants); used to cross-check the MILP objective.
+double EvaluateStrl(const StrlExpr& expr, const LeafGrants& grants);
+
+}  // namespace tetrisched
+
+#endif  // TETRISCHED_STRL_STRL_H_

@@ -1,0 +1,68 @@
+#include "src/strl/value.h"
+
+#include <algorithm>
+#include <cassert>
+
+namespace tetrisched {
+
+ValueFunction ValueFunction::SloStep(double height, SimTime deadline) {
+  ValueFunction fn;
+  fn.kind_ = Kind::kStep;
+  fn.height_ = height;
+  fn.deadline_ = deadline;
+  return fn;
+}
+
+ValueFunction ValueFunction::LinearDecay(double v0, SimTime reference,
+                                         double slope_per_second,
+                                         double floor) {
+  assert(floor > 0.0);
+  ValueFunction fn;
+  fn.kind_ = Kind::kLinearDecay;
+  fn.height_ = v0;
+  fn.deadline_ = reference;
+  fn.slope_ = slope_per_second;
+  fn.floor_ = floor;
+  return fn;
+}
+
+double ValueFunction::At(SimTime t) const {
+  switch (kind_) {
+    case Kind::kStep:
+      return t <= deadline_ ? height_ : 0.0;
+    case Kind::kLinearDecay: {
+      double v = height_ - slope_ * static_cast<double>(t - deadline_);
+      return std::max(v, floor_);
+    }
+  }
+  return 0.0;
+}
+
+double ShadeByCompletion(double value, SimTime now, SimTime completion) {
+  if (value <= 0.0) {
+    return 0.0;
+  }
+  double penalty = kCompletionTieBreak *
+                   static_cast<double>(completion - now) /
+                   kTieBreakHorizonSeconds;
+  return value * std::max(0.0, 1.0 - penalty);
+}
+
+ValueFunction AcceptedSloValue(SimTime deadline, double v0) {
+  return ValueFunction::SloStep(kAcceptedSloMultiplier * v0, deadline);
+}
+
+ValueFunction UnreservedSloValue(SimTime deadline, double v0) {
+  return ValueFunction::SloStep(kUnreservedSloMultiplier * v0, deadline);
+}
+
+ValueFunction BestEffortValue(SimTime submit, SimDuration decay_horizon,
+                              double v0) {
+  assert(decay_horizon > 0);
+  double slope = v0 * (1.0 - kBestEffortFloorFraction) /
+                 static_cast<double>(decay_horizon);
+  return ValueFunction::LinearDecay(v0, submit, slope,
+                                    kBestEffortFloorFraction * v0);
+}
+
+}  // namespace tetrisched

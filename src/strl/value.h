@@ -1,0 +1,77 @@
+// Completion-time value functions (paper §6.2.2, Fig 5).
+//
+// A value function v(t) maps a job's completion time to scalar value; the
+// STRL generator evaluates it at each candidate option's completion time to
+// produce leaf values. The paper's internal defaults:
+//
+//   accepted SLO job:        v(t) = 1000 * v0 for t <= deadline, else 0
+//   SLO job w/o reservation: v(t) =   25 * v0 for t <= deadline, else 0
+//   best-effort job:         linear decay from v0 with completion time
+//
+// Best-effort decay is floored at a small positive value so long-waiting BE
+// jobs never become invisible to the optimizer (the paper culls zero-value
+// *SLO* jobs; BE jobs always retain a latency incentive).
+
+#ifndef TETRISCHED_STRL_VALUE_H_
+#define TETRISCHED_STRL_VALUE_H_
+
+#include "src/common/time.h"
+
+namespace tetrisched {
+
+// Paper Fig 5 multipliers over the common base value v0.
+inline constexpr double kAcceptedSloMultiplier = 1000.0;
+inline constexpr double kUnreservedSloMultiplier = 25.0;
+inline constexpr double kBestEffortFloorFraction = 0.01;
+
+// Deterministic tie-break applied by the STRL generator: step value
+// functions make the optimizer indifferent between any two options that meet
+// the deadline, so option values are shaded down by at most
+// kCompletionTieBreak (5%) proportionally to how far in the future they
+// complete (normalized by kTieBreakHorizonSeconds). This prefers faster
+// placements and earlier starts without perturbing the 1000x/25x/1x class
+// separation.
+inline constexpr double kCompletionTieBreak = 0.05;
+inline constexpr double kTieBreakHorizonSeconds = 10000.0;
+
+// Shades `value` by the completion-time tie-break; keeps zero at zero.
+double ShadeByCompletion(double value, SimTime now, SimTime completion);
+
+class ValueFunction {
+ public:
+  // Step function: `height` until `deadline` (inclusive), 0 after.
+  static ValueFunction SloStep(double height, SimTime deadline);
+
+  // Linear decay: v0 at `reference` dropping by `slope_per_second`, floored
+  // at `floor` (> 0).
+  static ValueFunction LinearDecay(double v0, SimTime reference,
+                                   double slope_per_second, double floor);
+
+  // Value of completing at time t.
+  double At(SimTime t) const;
+
+  bool is_step() const { return kind_ == Kind::kStep; }
+  SimTime deadline() const { return deadline_; }
+
+ private:
+  enum class Kind { kStep, kLinearDecay };
+
+  Kind kind_ = Kind::kStep;
+  double height_ = 0.0;       // step height or decay v0
+  SimTime deadline_ = 0;      // step deadline or decay reference
+  double slope_ = 0.0;
+  double floor_ = 0.0;
+};
+
+// The paper's internal defaults for the three job classes, parameterized by
+// the common base value v0 (= 1 in all experiments).
+ValueFunction AcceptedSloValue(SimTime deadline, double v0 = 1.0);
+ValueFunction UnreservedSloValue(SimTime deadline, double v0 = 1.0);
+// Best-effort decay reaches the floor after `decay_horizon` seconds past
+// `submit`; ties latency sensitivity to the expected job scale.
+ValueFunction BestEffortValue(SimTime submit, SimDuration decay_horizon,
+                              double v0 = 1.0);
+
+}  // namespace tetrisched
+
+#endif  // TETRISCHED_STRL_VALUE_H_

@@ -1,0 +1,226 @@
+#include "src/workload/workload.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+#include <sstream>
+
+#include "src/common/rng.h"
+
+namespace tetrisched {
+namespace {
+
+// Qualitative SWIM-derived shapes: production (fb2009_2-like) jobs are
+// larger and longer with a heavy lognormal tail; best-effort (yahoo_1-like)
+// jobs are small and short. GS synthetic classes are tighter around their
+// means to isolate scheduling effects (paper §6.4).
+struct ClassShape {
+  double runtime_log_mean;
+  double runtime_log_sigma;
+  SimDuration runtime_min;
+  SimDuration runtime_max;
+  double gang_log_mean;
+  double gang_log_sigma;
+  int gang_min;
+};
+
+constexpr ClassShape kProductionSlo = {std::log(110.0), 0.55, 30,  600,
+                                       std::log(4.0),   0.55, 2};
+constexpr ClassShape kTraceBestEffort = {std::log(45.0), 0.50, 10, 240,
+                                         std::log(2.0),  0.50, 1};
+constexpr ClassShape kSyntheticSlo = {std::log(90.0), 0.35, 30,  360,
+                                      std::log(3.5),  0.45, 2};
+constexpr ClassShape kSyntheticBestEffort = {std::log(40.0), 0.35, 10, 150,
+                                             std::log(2.0),  0.40, 1};
+
+SimDuration DrawRuntime(Rng& rng, const ClassShape& shape) {
+  double runtime = rng.Lognormal(shape.runtime_log_mean,
+                                 shape.runtime_log_sigma);
+  return std::clamp<SimDuration>(static_cast<SimDuration>(std::llround(runtime)),
+                                 shape.runtime_min, shape.runtime_max);
+}
+
+int DrawGang(Rng& rng, const ClassShape& shape, int gang_max) {
+  double gang = rng.Lognormal(shape.gang_log_mean, shape.gang_log_sigma);
+  return std::clamp(static_cast<int>(std::llround(gang)), shape.gang_min,
+                    gang_max);
+}
+
+}  // namespace
+
+const char* ToString(ArrivalPattern pattern) {
+  switch (pattern) {
+    case ArrivalPattern::kPoisson:
+      return "poisson";
+    case ArrivalPattern::kBursty:
+      return "bursty";
+    case ArrivalPattern::kDiurnal:
+      return "diurnal";
+  }
+  return "?";
+}
+
+const char* ToString(WorkloadKind kind) {
+  switch (kind) {
+    case WorkloadKind::kGrSlo:
+      return "GR SLO";
+    case WorkloadKind::kGrMix:
+      return "GR MIX";
+    case WorkloadKind::kGsMix:
+      return "GS MIX";
+    case WorkloadKind::kGsHet:
+      return "GS HET";
+  }
+  return "?";
+}
+
+WorkloadComposition CompositionFor(WorkloadKind kind) {
+  // Paper Table 1.
+  switch (kind) {
+    case WorkloadKind::kGrSlo:
+      return {1.00, 0.0, 0.0};
+    case WorkloadKind::kGrMix:
+      return {0.52, 0.0, 0.0};
+    case WorkloadKind::kGsMix:
+      return {0.70, 0.0, 0.0};
+    case WorkloadKind::kGsHet:
+      return {0.75, 0.5, 0.5};
+  }
+  return {1.0, 0.0, 0.0};
+}
+
+std::vector<Job> GenerateWorkload(const Cluster& cluster,
+                                  const WorkloadParams& params) {
+  Rng rng(params.seed);
+  WorkloadComposition composition = CompositionFor(params.kind);
+  const bool trace_derived = params.kind == WorkloadKind::kGrSlo ||
+                             params.kind == WorkloadKind::kGrMix;
+  const ClassShape& slo_shape =
+      trace_derived ? kProductionSlo : kSyntheticSlo;
+  const ClassShape& be_shape =
+      trace_derived ? kTraceBestEffort : kSyntheticBestEffort;
+
+  // Largest gang that can still be placed on preferred resources.
+  int max_rack = 0;
+  for (RackId rack = 0; rack < cluster.num_racks(); ++rack) {
+    max_rack = std::max(max_rack, cluster.CapacityOf(cluster.RackPartitions(rack)));
+  }
+  int gpu_capacity = cluster.CapacityOf(cluster.GpuPartitions());
+  int general_gang_max = std::max(1, cluster.num_nodes() / 3);
+
+  std::vector<Job> jobs;
+  jobs.reserve(params.num_jobs);
+  double total_work = 0.0;  // node-seconds
+  for (int i = 0; i < params.num_jobs; ++i) {
+    Job job;
+    job.id = i;
+    job.estimate_error = params.estimate_error;
+    bool slo = rng.Bernoulli(composition.slo_fraction);
+    const ClassShape& shape = slo ? slo_shape : be_shape;
+    job.wants_reservation = slo;
+    job.actual_runtime = DrawRuntime(rng, shape);
+    job.k = DrawGang(rng, shape, general_gang_max);
+    job.slowdown = 1.0;
+
+    if (slo) {
+      double type_draw = rng.UniformReal(0.0, 1.0);
+      if (type_draw < composition.gpu_fraction) {
+        job.type = JobType::kGpu;
+        job.slowdown = params.slowdown;
+        job.k = std::min(job.k, std::max(1, gpu_capacity / 2));
+      } else if (type_draw < composition.gpu_fraction + composition.mpi_fraction) {
+        job.type = JobType::kMpi;
+        job.slowdown = params.slowdown;
+        job.k = std::min(job.k, std::max(1, max_rack));
+      }
+      double slack = rng.UniformReal(params.slack_min, params.slack_max);
+      job.deadline = static_cast<SimTime>(
+          std::llround(slack * static_cast<double>(job.actual_runtime)));
+      // Deadline is relative here; made absolute after arrivals are drawn.
+    }
+    total_work += static_cast<double>(job.k) *
+                  static_cast<double>(job.actual_runtime);
+    jobs.push_back(job);
+  }
+
+  // Arrivals calibrated so offered work ~= target_load * capacity; the
+  // pattern shapes gaps around the same mean rate.
+  double makespan =
+      total_work / (params.target_load * cluster.num_nodes());
+  double mean_gap = makespan / std::max(1, params.num_jobs);
+  SimTime clock = 0;
+  int burst_remaining = 0;
+  for (Job& job : jobs) {
+    double gap = 0.0;
+    switch (params.arrivals) {
+      case ArrivalPattern::kPoisson:
+        gap = rng.Exponential(mean_gap);
+        break;
+      case ArrivalPattern::kBursty: {
+        if (burst_remaining > 0) {
+          --burst_remaining;
+          gap = 1.0;  // back-to-back within a burst
+        } else {
+          // Mean burst size B; inter-burst gap stretched by B to keep the
+          // average arrival rate unchanged.
+          double b = std::max(1.0, params.burst_factor);
+          while (rng.Bernoulli(1.0 - 1.0 / b)) {
+            ++burst_remaining;
+          }
+          gap = rng.Exponential(mean_gap * b);
+        }
+        break;
+      }
+      case ArrivalPattern::kDiurnal: {
+        // Thinning: candidates at peak rate (1.8x mean), accepted with the
+        // instantaneous modulated rate.
+        double peak_gap = mean_gap / 1.8;
+        double t = static_cast<double>(clock);
+        do {
+          gap += rng.Exponential(peak_gap);
+          t = static_cast<double>(clock) + gap;
+        } while (!rng.Bernoulli(
+            (1.0 + 0.8 * std::sin(2.0 * 3.14159265358979 * t /
+                                  static_cast<double>(params.diurnal_period))) /
+            1.8));
+        break;
+      }
+    }
+    clock += static_cast<SimTime>(std::llround(gap));
+    job.submit = clock;
+    if (job.deadline != kTimeNever) {
+      job.deadline += job.submit;
+    }
+  }
+  return jobs;
+}
+
+std::string DescribeWorkload(const std::vector<Job>& jobs) {
+  int slo = 0, be = 0, gpu = 0, mpi = 0, unconstrained = 0;
+  double work = 0.0;
+  SimTime horizon = 0;
+  for (const Job& job : jobs) {
+    (job.wants_reservation ? slo : be)++;
+    switch (job.type) {
+      case JobType::kGpu:
+        ++gpu;
+        break;
+      case JobType::kMpi:
+        ++mpi;
+        break;
+      default:
+        ++unconstrained;
+        break;
+    }
+    work += static_cast<double>(job.k) * job.actual_runtime;
+    horizon = std::max(horizon, job.submit);
+  }
+  std::ostringstream out;
+  out << jobs.size() << " jobs (" << slo << " SLO / " << be
+      << " BE; " << unconstrained << " unconstrained, " << gpu << " gpu, "
+      << mpi << " mpi), " << static_cast<long long>(work)
+      << " node-seconds of work, last arrival at t=" << horizon;
+  return out.str();
+}
+
+}  // namespace tetrisched

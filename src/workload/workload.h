@@ -1,0 +1,97 @@
+// Workload generation (paper §6.2, §6.4, Table 1).
+//
+// The paper drives its experiments with Gridmix-3-style synthetic jobs whose
+// parameter distributions come from the SWIM project (Facebook fb2009_2 for
+// SLO jobs, Yahoo yahoo_1 for best-effort) plus purely synthetic GS MIX /
+// GS HET mixes. The exact trace values are not redistributable, so this
+// module reproduces the *qualitative shape* — lognormal runtimes and gang
+// sizes with a heavy tail for production jobs, smaller best-effort jobs,
+// Poisson arrivals calibrated to ~100% of cluster capacity — and exposes the
+// same composition knobs as Table 1:
+//
+//   GR SLO  100% SLO /  0% BE   unconstrained          (fb2009_2-derived)
+//   GR MIX   52% SLO / 48% BE   unconstrained          (fb2009_2 + yahoo_1)
+//   GS MIX   70% SLO / 30% BE   unconstrained          (synthetic)
+//   GS HET   75% SLO / 25% BE   SLO: 50% GPU, 50% MPI  (synthetic)
+
+#ifndef TETRISCHED_WORKLOAD_WORKLOAD_H_
+#define TETRISCHED_WORKLOAD_WORKLOAD_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "src/cluster/cluster.h"
+#include "src/core/job.h"
+
+namespace tetrisched {
+
+enum class WorkloadKind {
+  kGrSlo,
+  kGrMix,
+  kGsMix,
+  kGsHet,
+};
+
+const char* ToString(WorkloadKind kind);
+
+// Arrival process shape (TR §: "varied cluster loads, inter-arrival
+// burstiness"). All patterns are calibrated to the same average rate.
+enum class ArrivalPattern {
+  kPoisson,  // exponential inter-arrival gaps
+  kBursty,   // geometric bursts of back-to-back arrivals, long gaps between
+  kDiurnal,  // sinusoidally modulated rate (daily load wave)
+};
+
+const char* ToString(ArrivalPattern pattern);
+
+struct WorkloadParams {
+  WorkloadKind kind = WorkloadKind::kGsMix;
+  uint64_t seed = 1;
+  int num_jobs = 80;
+
+  // Offered load as a fraction of cluster capacity; the paper adjusts load
+  // to utilize "near 100% of the available cluster capacity".
+  double target_load = 1.0;
+
+  // Runtime estimate error applied to every job: estimates = actual*(1+err).
+  double estimate_error = 0.0;
+
+  // Deadline slack: deadline = submit + slack * preferred_runtime, with
+  // slack drawn uniformly from [slack_min, slack_max].
+  double slack_min = 2.0;
+  double slack_max = 4.0;
+
+  // Runtime penalty for GPU/MPI jobs placed off their preference (paper
+  // Fig 1 uses 3 vs 2 time units = 1.5x).
+  double slowdown = 1.5;
+
+  // Arrival process; kBursty uses `burst_factor` as the mean burst size
+  // (1 = Poisson-like), kDiurnal modulates the rate by +/-80% over
+  // `diurnal_period` seconds.
+  ArrivalPattern arrivals = ArrivalPattern::kPoisson;
+  double burst_factor = 4.0;
+  SimDuration diurnal_period = 2000;
+};
+
+// Composition of one Table-1 workload (fractions in [0,1]).
+struct WorkloadComposition {
+  double slo_fraction = 1.0;
+  double gpu_fraction = 0.0;  // of SLO jobs
+  double mpi_fraction = 0.0;  // of SLO jobs
+};
+
+WorkloadComposition CompositionFor(WorkloadKind kind);
+
+// Generates `params.num_jobs` jobs sorted by submit time. Jobs carry ground
+// truth runtimes; Rayon admission (slo_class/reservation) is NOT yet applied
+// — run them through AdmitWorkload or the simulator's setup.
+std::vector<Job> GenerateWorkload(const Cluster& cluster,
+                                  const WorkloadParams& params);
+
+// Human-readable summary used by the Table-1 bench.
+std::string DescribeWorkload(const std::vector<Job>& jobs);
+
+}  // namespace tetrisched
+
+#endif  // TETRISCHED_WORKLOAD_WORKLOAD_H_

@@ -1,0 +1,294 @@
+// Tests for features beyond the paper's core evaluation: attribute-tagged
+// partitions, data-locality (dynamic heterogeneity) jobs, node failure
+// injection, and rescue preemption in TetriSched.
+
+#include <gtest/gtest.h>
+
+#include "src/core/scheduler.h"
+#include "src/sim/simulator.h"
+
+namespace tetrisched {
+namespace {
+
+Job MakeJob(JobId id, JobType type, int k, SimDuration runtime,
+            SimTime deadline, SloClass slo_class, SimTime submit = 0,
+            double slowdown = 2.0) {
+  Job job;
+  job.id = id;
+  job.type = type;
+  job.wants_reservation = slo_class != SloClass::kBestEffort;
+  job.k = k;
+  job.submit = submit;
+  job.actual_runtime = runtime;
+  job.slowdown = type == JobType::kUnconstrained ? 1.0 : slowdown;
+  job.deadline = deadline;
+  job.slo_class = slo_class;
+  return job;
+}
+
+TetriSchedConfig ExactConfig(TetriSchedConfig base = TetriSchedConfig::Full()) {
+  base.milp.rel_gap = 0.0;
+  return base;
+}
+
+// --- Attribute tags ---------------------------------------------------------
+
+TEST(AttrTagTest, TagsSplitPartitions) {
+  std::vector<NodeSpec> nodes;
+  for (int i = 0; i < 6; ++i) {
+    NodeSpec node;
+    node.rack = 0;
+    node.attr_tag = i < 3 ? 1 : 2;  // two replica groups on one rack
+    nodes.push_back(node);
+  }
+  Cluster cluster((std::move(nodes)));
+  EXPECT_EQ(cluster.num_partitions(), 2);
+  EXPECT_EQ(cluster.CapacityOf(cluster.TaggedPartitions(1)), 3);
+  EXPECT_EQ(cluster.CapacityOf(cluster.TaggedPartitions(2)), 3);
+  EXPECT_TRUE(cluster.TaggedPartitions(99).empty());
+}
+
+TEST(AttrTagTest, DefaultTagKeepsPartitionsMerged) {
+  Cluster cluster = MakeUniformCluster(2, 4, 0);
+  EXPECT_EQ(cluster.num_partitions(), 2);  // one per rack, tags all 0
+}
+
+// --- Data-locality jobs ------------------------------------------------------
+
+class DataLocalTest : public ::testing::Test {
+ protected:
+  DataLocalTest() {
+    std::vector<NodeSpec> nodes;
+    for (int i = 0; i < 8; ++i) {
+      NodeSpec node;
+      node.rack = i / 4;
+      node.attr_tag = i < 3 ? 7 : 0;  // dataset replicas on nodes 0-2
+      nodes.push_back(node);
+    }
+    cluster_ = std::make_unique<Cluster>(std::move(nodes));
+  }
+
+  std::unique_ptr<Cluster> cluster_;
+};
+
+TEST_F(DataLocalTest, SchedulerPlacesOnDataPartitions) {
+  Job job = MakeJob(1, JobType::kDataLocal, 2, 60, 600,
+                    SloClass::kSloAccepted);
+  job.preferred_partitions = cluster_->TaggedPartitions(7);
+  TetriScheduler scheduler(*cluster_, ExactConfig());
+  auto decision = scheduler.OnCycle(0, {&job}, {});
+  ASSERT_EQ(decision.start_now.size(), 1u);
+  EXPECT_TRUE(decision.start_now[0].preferred_belief);
+  for (const auto& [partition, count] : decision.start_now[0].counts) {
+    EXPECT_EQ(cluster_->partition(partition).attr_tag, 7);
+  }
+}
+
+TEST_F(DataLocalTest, FallsBackWhenDataNodesBusy) {
+  Job job = MakeJob(1, JobType::kDataLocal, 2, 60, 200,
+                    SloClass::kSloAccepted);
+  job.preferred_partitions = cluster_->TaggedPartitions(7);
+  // Data nodes busy for a long time: deadline forces the remote fallback.
+  RunningHold hold;
+  hold.job = 9;
+  hold.counts[cluster_->TaggedPartitions(7)[0]] = 3;
+  hold.expected_end = 500;
+  TetriScheduler scheduler(*cluster_, ExactConfig());
+  auto decision = scheduler.OnCycle(0, {&job}, {hold});
+  ASSERT_EQ(decision.start_now.size(), 1u);
+  EXPECT_FALSE(decision.start_now[0].preferred_belief);
+}
+
+TEST_F(DataLocalTest, EndToEndRunsFastOnData) {
+  std::vector<Job> jobs{
+      MakeJob(1, JobType::kDataLocal, 2, 50, 600, SloClass::kBestEffort)};
+  jobs[0].wants_reservation = false;
+  jobs[0].preferred_partitions = cluster_->TaggedPartitions(7);
+  ApplyAdmission(*cluster_, jobs);
+  TetriScheduler scheduler(*cluster_, ExactConfig());
+  Simulator sim(*cluster_, scheduler, jobs);
+  SimMetrics metrics = sim.Run();
+  EXPECT_TRUE(metrics.outcomes[0].preferred);
+  EXPECT_EQ(metrics.outcomes[0].completion - metrics.outcomes[0].start_time,
+            50);
+}
+
+// --- Node failures -----------------------------------------------------------
+
+class FailureTest : public ::testing::Test {
+ protected:
+  FailureTest() : cluster_(MakeUniformCluster(2, 4, 0)) {}
+  Cluster cluster_;
+};
+
+TEST_F(FailureTest, FailedFreeNodeReducesCapacity) {
+  // 8 nodes; 2 fail permanently at t=0; an 8-gang can never run, a 6-gang
+  // can.
+  std::vector<Job> jobs{
+      MakeJob(1, JobType::kUnconstrained, 6, 40, kTimeNever,
+              SloClass::kBestEffort)};
+  SimConfig config;
+  config.node_failures = {{0, 0, kTimeNever}, {0, 1, kTimeNever}};
+  config.max_time = 5000;
+  TetriScheduler scheduler(cluster_, ExactConfig());
+  Simulator sim(cluster_, scheduler, jobs, config);
+  SimMetrics metrics = sim.Run();
+  EXPECT_TRUE(metrics.outcomes[0].completed);
+}
+
+TEST_F(FailureTest, FailureKillsRunningJobWhichRetries) {
+  std::vector<Job> jobs{
+      MakeJob(1, JobType::kUnconstrained, 4, 100, kTimeNever,
+              SloClass::kBestEffort)};
+  SimConfig config;
+  // Node 0 dies mid-run and recovers later; the job restarts and finishes.
+  config.node_failures = {{40, 0, 200}};
+  TetriScheduler scheduler(cluster_, ExactConfig());
+  Simulator sim(cluster_, scheduler, jobs, config);
+  SimMetrics metrics = sim.Run();
+  EXPECT_EQ(metrics.failure_kills, 1);
+  EXPECT_TRUE(metrics.outcomes[0].completed);
+  // Killed at 40, restarted from scratch on surviving nodes: completion no
+  // earlier than 40 + 100.
+  EXPECT_GE(metrics.outcomes[0].completion, 140);
+}
+
+TEST_F(FailureTest, RecoveryRestoresCapacity) {
+  // All of rack 0 fails at t=0, recovers at t=60. A 8-gang (whole cluster)
+  // job must wait for recovery.
+  std::vector<Job> jobs{
+      MakeJob(1, JobType::kUnconstrained, 8, 40, kTimeNever,
+              SloClass::kBestEffort)};
+  SimConfig config;
+  for (NodeId node = 0; node < 4; ++node) {
+    config.node_failures.push_back({0, node, 60});
+  }
+  TetriScheduler scheduler(cluster_, ExactConfig());
+  Simulator sim(cluster_, scheduler, jobs, config);
+  SimMetrics metrics = sim.Run();
+  EXPECT_TRUE(metrics.outcomes[0].completed);
+  EXPECT_GE(metrics.outcomes[0].start_time, 60);
+}
+
+TEST_F(FailureTest, BaselineSurvivesFailuresToo) {
+  std::vector<Job> jobs{
+      MakeJob(1, JobType::kUnconstrained, 4, 80, 2000, SloClass::kBestEffort),
+      MakeJob(2, JobType::kUnconstrained, 2, 40, kTimeNever,
+              SloClass::kBestEffort, 10)};
+  SimConfig config;
+  config.node_failures = {{20, 2, 400}};
+  TetriScheduler scheduler(cluster_, ExactConfig());
+  Simulator sim(cluster_, scheduler, jobs, config);
+  SimMetrics metrics = sim.Run();
+  for (const JobOutcome& outcome : metrics.outcomes) {
+    EXPECT_TRUE(outcome.completed);
+  }
+}
+
+// --- Rescue preemption (extension) -------------------------------------------
+
+class PreemptionTest : public ::testing::Test {
+ protected:
+  PreemptionTest() : cluster_(MakeUniformCluster(2, 4, 0)) {}
+  Cluster cluster_;
+};
+
+TEST_F(PreemptionTest, RescuesStrandedSloJob) {
+  // A long BE hog holds the whole cluster until t=500; an accepted SLO job
+  // with deadline 80 (runtime 60 -> latest start ~20) is stranded.
+  Job slo = MakeJob(1, JobType::kUnconstrained, 8, 60, 80,
+                    SloClass::kSloAccepted);
+  RunningHold hog;
+  hog.job = 9;
+  hog.slo_class = SloClass::kBestEffort;
+  hog.start = 0;
+  hog.counts[0] = 4;
+  hog.counts[1] = 4;
+  hog.expected_end = 500;
+
+  TetriSchedConfig config = ExactConfig();
+  config.enable_preemption = true;
+  TetriScheduler scheduler(cluster_, config);
+  auto decision = scheduler.OnCycle(16, {&slo}, {hog});
+  ASSERT_FALSE(decision.preempt.empty());
+  EXPECT_EQ(decision.preempt[0], 9);
+  ASSERT_EQ(decision.start_now.size(), 1u);
+  EXPECT_EQ(decision.start_now[0].job, 1);
+}
+
+TEST_F(PreemptionTest, DisabledByDefault) {
+  Job slo = MakeJob(1, JobType::kUnconstrained, 8, 60, 80,
+                    SloClass::kSloAccepted);
+  RunningHold hog;
+  hog.job = 9;
+  hog.slo_class = SloClass::kBestEffort;
+  hog.counts[0] = 4;
+  hog.counts[1] = 4;
+  hog.expected_end = 500;
+
+  TetriScheduler scheduler(cluster_, ExactConfig());
+  auto decision = scheduler.OnCycle(16, {&slo}, {hog});
+  EXPECT_TRUE(decision.preempt.empty());
+  EXPECT_TRUE(decision.start_now.empty());
+}
+
+TEST_F(PreemptionTest, NeverPreemptsForHopefulJobs) {
+  // Deadline far away: no need to preempt yet.
+  Job slo = MakeJob(1, JobType::kUnconstrained, 8, 60, 5000,
+                    SloClass::kSloAccepted);
+  RunningHold hog;
+  hog.job = 9;
+  hog.slo_class = SloClass::kBestEffort;
+  hog.counts[0] = 4;
+  hog.counts[1] = 4;
+  hog.expected_end = 500;
+
+  TetriSchedConfig config = ExactConfig();
+  config.enable_preemption = true;
+  TetriScheduler scheduler(cluster_, config);
+  auto decision = scheduler.OnCycle(16, {&slo}, {hog});
+  EXPECT_TRUE(decision.preempt.empty());
+}
+
+TEST_F(PreemptionTest, NeverPreemptsSloForSlo) {
+  // The hog is itself an accepted SLO job: not preemptible.
+  Job slo = MakeJob(1, JobType::kUnconstrained, 8, 60, 80,
+                    SloClass::kSloAccepted);
+  RunningHold hog;
+  hog.job = 9;
+  hog.slo_class = SloClass::kSloAccepted;
+  hog.counts[0] = 4;
+  hog.counts[1] = 4;
+  hog.expected_end = 500;
+
+  TetriSchedConfig config = ExactConfig();
+  config.enable_preemption = true;
+  TetriScheduler scheduler(cluster_, config);
+  auto decision = scheduler.OnCycle(16, {&slo}, {hog});
+  EXPECT_TRUE(decision.preempt.empty());
+}
+
+TEST_F(PreemptionTest, EndToEndRescueImprovesAttainment) {
+  // BE hog arrives first and fills the cluster; a tight SLO job follows.
+  std::vector<Job> jobs{
+      MakeJob(9, JobType::kUnconstrained, 8, 400, kTimeNever,
+              SloClass::kBestEffort, 0),
+      MakeJob(1, JobType::kUnconstrained, 8, 60, 110, SloClass::kSloAccepted,
+              8)};
+
+  auto run = [&](bool preemption) {
+    TetriSchedConfig config = ExactConfig();
+    config.enable_preemption = preemption;
+    TetriScheduler scheduler(cluster_, config);
+    Simulator sim(cluster_, scheduler, jobs);
+    return sim.Run();
+  };
+  SimMetrics without = run(false);
+  SimMetrics with = run(true);
+  EXPECT_DOUBLE_EQ(without.AcceptedSloAttainment(), 0.0);
+  EXPECT_DOUBLE_EQ(with.AcceptedSloAttainment(), 1.0);
+  EXPECT_GT(with.preemptions, 0);
+}
+
+}  // namespace
+}  // namespace tetrisched

@@ -1,0 +1,127 @@
+// Tests for the textual STRL parser, including round-trips with ToString and
+// compile-through to the MILP solver.
+
+#include <gtest/gtest.h>
+
+#include "src/cluster/availability.h"
+#include "src/compiler/compiler.h"
+#include "src/solver/milp.h"
+#include "src/strl/parser.h"
+
+namespace tetrisched {
+namespace {
+
+StrlExpr MustParse(std::string_view text) {
+  StrlParseResult result = ParseStrl(text);
+  EXPECT_TRUE(result.expr.has_value()) << result.error;
+  return std::move(*result.expr);
+}
+
+TEST(ParserTest, ParsesLeaf) {
+  StrlExpr expr = MustParse("nCk({p0,p1}, k=2, s=10, dur=20, v=4.5)");
+  EXPECT_EQ(expr.kind, StrlKind::kNCk);
+  EXPECT_EQ(expr.partitions, (PartitionSet{0, 1}));
+  EXPECT_EQ(expr.k, 2);
+  EXPECT_EQ(expr.start, 10);
+  EXPECT_EQ(expr.duration, 20);
+  EXPECT_DOUBLE_EQ(expr.value, 4.5);
+  EXPECT_EQ(expr.tag, 1);  // fresh sequential tags
+}
+
+TEST(ParserTest, ParsesLinearLeaf) {
+  StrlExpr expr = MustParse("LnCk({p3}, k=5, s=0, dur=8, v=10)");
+  EXPECT_EQ(expr.kind, StrlKind::kLnCk);
+  EXPECT_EQ(expr.k, 5);
+}
+
+TEST(ParserTest, ParsesOperators) {
+  StrlExpr expr = MustParse(
+      "sum(max(nCk({p0}, k=1, s=0, dur=1, v=1), nCk({p1}, k=1, s=0, dur=1, "
+      "v=2)), min(nCk({p0}, k=1, s=0, dur=1, v=3), nCk({p1}, k=1, s=0, "
+      "dur=1, v=3)))");
+  EXPECT_EQ(expr.kind, StrlKind::kSum);
+  ASSERT_EQ(expr.children.size(), 2u);
+  EXPECT_EQ(expr.children[0].kind, StrlKind::kMax);
+  EXPECT_EQ(expr.children[1].kind, StrlKind::kMin);
+  EXPECT_EQ(CountLeaves(expr), 4);
+}
+
+TEST(ParserTest, ParsesScaleAndBarrier) {
+  StrlExpr expr =
+      MustParse("barrier(3, scale(2.5, nCk({p0}, k=1, s=0, dur=1, v=2)))");
+  EXPECT_EQ(expr.kind, StrlKind::kBarrier);
+  EXPECT_DOUBLE_EQ(expr.scalar, 3.0);
+  EXPECT_EQ(expr.children[0].kind, StrlKind::kScale);
+  EXPECT_DOUBLE_EQ(expr.children[0].scalar, 2.5);
+}
+
+TEST(ParserTest, WhitespaceInsensitive) {
+  StrlExpr a = MustParse("max(nCk({p0},k=1,s=0,dur=1,v=1))");
+  StrlExpr b = MustParse("  max ( nCk ( { p0 } , k=1 , s=0, dur=1, v=1 ) ) ");
+  EXPECT_EQ(ToString(a), ToString(b));
+}
+
+TEST(ParserTest, RoundTripsWithToString) {
+  StrlExpr original = Sum(
+      {Max({NCk({0, 1}, 2, 0, 10, 4.0, 1), NCk({2}, 2, 8, 15, 3.0, 2)}),
+       Min({NCk({0}, 1, 0, 10, 2.0, 3), NCk({1}, 1, 0, 10, 2.0, 4)}),
+       Barrier(Scale(LnCk({0, 1, 2}, 4, 16, 10, 8.0, 5), 1.5), 6.0)});
+  StrlExpr reparsed = MustParse(ToString(original));
+  // Tags differ (parser assigns fresh ones); structure must match exactly.
+  EXPECT_EQ(ToString(reparsed), ToString(original));
+  EXPECT_EQ(CountNodes(reparsed), CountNodes(original));
+}
+
+TEST(ParserTest, ParsedExprCompilesAndSolves) {
+  Cluster cluster = MakeUniformCluster(2, 2, 1);
+  StrlExpr expr = MustParse(
+      "max(nCk({p0}, k=2, s=0, dur=2, v=4), nCk({p0,p1}, k=2, s=0, dur=3, "
+      "v=3))");
+  TimeGrid grid{.start = 0, .quantum = 1, .num_slices = 4};
+  AvailabilityGrid avail(cluster, grid);
+  CompiledStrl compiled = StrlCompiler(avail).Compile(expr);
+  MilpOptions options;
+  options.rel_gap = 0.0;
+  MilpResult result = MilpSolver(compiled.model(), options).Solve();
+  ASSERT_TRUE(result.HasSolution());
+  EXPECT_NEAR(result.objective, 4.0, 1e-6);
+}
+
+TEST(ParserTest, NegativeStartAllowed) {
+  StrlExpr expr = MustParse("nCk({p0}, k=1, s=-5, dur=10, v=1)");
+  EXPECT_EQ(expr.start, -5);
+}
+
+// --- Error reporting ---------------------------------------------------------
+
+struct BadInput {
+  const char* text;
+  const char* expected_error_fragment;
+};
+
+class ParserErrorTest : public ::testing::TestWithParam<BadInput> {};
+
+TEST_P(ParserErrorTest, ReportsError) {
+  StrlParseResult result = ParseStrl(GetParam().text);
+  EXPECT_FALSE(result.expr.has_value());
+  EXPECT_NE(result.error.find(GetParam().expected_error_fragment),
+            std::string::npos)
+      << "got: " << result.error;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    BadInputs, ParserErrorTest,
+    ::testing::Values(
+        BadInput{"", "expected expression"},
+        BadInput{"foo(1)", "unknown operator"},
+        BadInput{"nCk({p0} k=1, s=0, dur=1, v=1)", "expected ','"},
+        BadInput{"nCk({x0}, k=1, s=0, dur=1, v=1)", "expected partition"},
+        BadInput{"nCk({p0}, k=0, s=0, dur=1, v=1)", "k must be positive"},
+        BadInput{"nCk({p0}, k=1, s=0, dur=0, v=1)", "dur must be positive"},
+        BadInput{"max(nCk({p0}, k=1, s=0, dur=1, v=1)", "expected ')'"},
+        BadInput{"nCk({p0}, k=1, s=0, dur=1, v=1) junk", "trailing input"},
+        BadInput{"scale(x, nCk({p0}, k=1, s=0, dur=1, v=1))",
+                 "expected number"}));
+
+}  // namespace
+}  // namespace tetrisched

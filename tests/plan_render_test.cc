@@ -1,0 +1,76 @@
+// Tests for the Fig-1-style ASCII plan renderer.
+
+#include <gtest/gtest.h>
+
+#include "src/core/plan_render.h"
+
+namespace tetrisched {
+namespace {
+
+TEST(PlanRenderTest, RendersSimplePlan) {
+  Cluster cluster = MakeUniformCluster(2, 2, 1);
+  std::vector<PlanSlot> slots = {
+      {1, cluster.GpuPartitions()[0], 2, {0, 16}},
+      {2, cluster.RackPartitions(1)[0], 1, {8, 24}},
+  };
+  std::string text = RenderPlan(cluster, slots, 0, 8, 3);
+  EXPECT_NE(text.find("A"), std::string::npos);
+  EXPECT_NE(text.find("B"), std::string::npos);
+  EXPECT_NE(text.find("rack 0 (gpu)"), std::string::npos);
+  EXPECT_NE(text.find("rack 1"), std::string::npos);
+  EXPECT_NE(text.find("legend: A=job1 B=job2"), std::string::npos);
+  EXPECT_EQ(text.find("OVERFLOW"), std::string::npos);
+}
+
+TEST(PlanRenderTest, GridCellsMatchOccupancy) {
+  Cluster cluster = MakeUniformCluster(1, 2, 0);
+  // One job on both nodes for the first two slices only.
+  std::vector<PlanSlot> slots = {{7, 0, 2, {0, 16}}};
+  std::string text = RenderPlan(cluster, slots, 0, 8, 4);
+  // Each machine row: [ A  A  .  . ]; count grid cells only (the legend
+  // line also contains an 'A').
+  int a_count = 0;
+  int dot_count = 0;
+  bool in_row = false;
+  for (char c : text) {
+    if (c == '[') {
+      in_row = true;
+    } else if (c == ']') {
+      in_row = false;
+    } else if (in_row && c == 'A') {
+      ++a_count;
+    } else if (in_row && c == '.') {
+      ++dot_count;
+    }
+  }
+  EXPECT_EQ(a_count, 4);  // 2 nodes x 2 slices
+  EXPECT_EQ(dot_count, 4);
+}
+
+TEST(PlanRenderTest, ReportsOverflow) {
+  Cluster cluster = MakeUniformCluster(1, 2, 0);
+  std::vector<PlanSlot> slots = {{1, 0, 3, {0, 8}}};  // 3 > capacity 2
+  std::string text = RenderPlan(cluster, slots, 0, 8, 1);
+  EXPECT_NE(text.find("OVERFLOW"), std::string::npos);
+}
+
+TEST(PlanRenderTest, ManyJobsWrapGlyphs) {
+  Cluster cluster = MakeUniformCluster(1, 4, 0);
+  std::vector<PlanSlot> slots;
+  for (int i = 0; i < 30; ++i) {
+    slots.push_back({i, 0, 1, {i * 8, i * 8 + 8}});
+  }
+  std::string text = RenderPlan(cluster, slots, 0, 8, 30);
+  EXPECT_NE(text.find('A'), std::string::npos);
+  EXPECT_NE(text.find('a'), std::string::npos);  // wrapped into lowercase
+}
+
+TEST(PlanRenderTest, EmptyPlanIsAllIdle) {
+  Cluster cluster = MakeUniformCluster(1, 2, 0);
+  std::string text = RenderPlan(cluster, {}, 0, 8, 3);
+  EXPECT_EQ(text.find("legend"), std::string::npos);
+  EXPECT_NE(text.find('.'), std::string::npos);
+}
+
+}  // namespace
+}  // namespace tetrisched

@@ -1,0 +1,175 @@
+// Stress tests for the LP/MILP solver on larger, structured instances with
+// analytically known optima — the shapes the STRL compiler actually emits
+// (assignment-like packing, interval supply chains, equality-linked
+// indicators), at sizes well beyond the unit tests.
+
+#include <gtest/gtest.h>
+
+#include "src/common/rng.h"
+#include "src/solver/milp.h"
+#include "src/solver/simplex.h"
+
+namespace tetrisched {
+namespace {
+
+// max sum x_i with x_i <= 1 and a chain x_i + x_{i+1} <= 1.5: optimum is
+// n * 0.75 for even n (alternating 1, 0.5 tiles give 1.5 per pair).
+TEST(LpStressTest, ChainStructure) {
+  constexpr int kN = 200;
+  MilpModel model;
+  for (int i = 0; i < kN; ++i) {
+    model.AddContinuousVar(0.0, 1.0);
+    model.AddObjectiveTerm(i, 1.0);
+  }
+  for (int i = 0; i + 1 < kN; ++i) {
+    model.AddConstraint({{i, 1.0}, {i + 1, 1.0}},
+                        ConstraintSense::kLessEqual, 1.5);
+  }
+  LpResult result = LpSolver(model).Solve();
+  ASSERT_EQ(result.status, LpStatus::kOptimal);
+  EXPECT_NEAR(result.objective, kN * 0.75, 1e-5);
+}
+
+// Transportation structure: m sources with supply 3, n sinks with demand 2,
+// profit 1 per unit moved; optimum = min(total supply, total demand).
+TEST(LpStressTest, TransportationStructure) {
+  constexpr int kSources = 12;
+  constexpr int kSinks = 15;
+  MilpModel model;
+  std::vector<std::vector<VarId>> x(kSources, std::vector<VarId>(kSinks));
+  for (int s = 0; s < kSources; ++s) {
+    for (int t = 0; t < kSinks; ++t) {
+      x[s][t] = model.AddContinuousVar(0.0, kInfinity);
+      model.AddObjectiveTerm(x[s][t], 1.0);
+    }
+  }
+  for (int s = 0; s < kSources; ++s) {
+    std::vector<LinTerm> row;
+    for (int t = 0; t < kSinks; ++t) {
+      row.push_back({x[s][t], 1.0});
+    }
+    model.AddConstraint(std::move(row), ConstraintSense::kLessEqual, 3.0);
+  }
+  for (int t = 0; t < kSinks; ++t) {
+    std::vector<LinTerm> col;
+    for (int s = 0; s < kSources; ++s) {
+      col.push_back({x[s][t], 1.0});
+    }
+    model.AddConstraint(std::move(col), ConstraintSense::kLessEqual, 2.0);
+  }
+  LpResult result = LpSolver(model).Solve();
+  ASSERT_EQ(result.status, LpStatus::kOptimal);
+  EXPECT_NEAR(result.objective, std::min(kSources * 3.0, kSinks * 2.0), 1e-5);
+}
+
+// Equality-linked indicators at scale: the compiler's demand-row pattern.
+// 60 jobs, each with P_j == 2 I_j and a shared supply sum P <= 40: optimum
+// schedules exactly 20 jobs.
+TEST(MilpStressTest, DemandSupplyPattern) {
+  constexpr int kJobs = 60;
+  MilpModel model;
+  std::vector<LinTerm> supply;
+  for (int j = 0; j < kJobs; ++j) {
+    VarId indicator = model.AddBinaryVar();
+    VarId count = model.AddIntegerVar(0.0, 2.0);
+    model.AddObjectiveTerm(indicator, 1.0);
+    model.AddConstraint({{count, 1.0}, {indicator, -2.0}},
+                        ConstraintSense::kEqual, 0.0);
+    supply.push_back({count, 1.0});
+  }
+  model.AddConstraint(std::move(supply), ConstraintSense::kLessEqual, 40.0);
+
+  MilpOptions options;
+  options.rel_gap = 0.0;
+  options.time_limit_seconds = 20.0;
+  MilpResult result = MilpSolver(model, options).Solve();
+  ASSERT_TRUE(result.HasSolution());
+  EXPECT_NEAR(result.objective, 20.0, 1e-6);
+  EXPECT_TRUE(model.IsFeasible(result.values));
+}
+
+// Weighted interval selection on one machine (classic DP-checkable MILP):
+// overlapping intervals with weights; MILP must match the DP optimum.
+TEST(MilpStressTest, WeightedIntervalSelection) {
+  struct Interval {
+    int start, end;
+    double weight;
+  };
+  Rng rng(20160418);
+  std::vector<Interval> intervals;
+  for (int i = 0; i < 40; ++i) {
+    int start = static_cast<int>(rng.UniformInt(0, 90));
+    int length = static_cast<int>(rng.UniformInt(3, 15));
+    intervals.push_back({start, start + length, rng.UniformReal(1.0, 5.0)});
+  }
+
+  // DP over sorted-by-end intervals (weighted interval scheduling).
+  std::vector<int> order(intervals.size());
+  for (size_t i = 0; i < order.size(); ++i) {
+    order[i] = static_cast<int>(i);
+  }
+  std::sort(order.begin(), order.end(), [&](int a, int b) {
+    return intervals[a].end < intervals[b].end;
+  });
+  std::vector<double> best(intervals.size() + 1, 0.0);
+  for (size_t i = 1; i <= order.size(); ++i) {
+    const Interval& current = intervals[order[i - 1]];
+    // Find the last interval ending at or before current.start.
+    double take = current.weight;
+    for (size_t j = i - 1; j >= 1; --j) {
+      if (intervals[order[j - 1]].end <= current.start) {
+        take += best[j];
+        break;
+      }
+    }
+    best[i] = std::max(best[i - 1], take);
+  }
+  double dp_optimum = best[order.size()];
+
+  // MILP with one supply constraint per time unit.
+  MilpModel model;
+  std::map<int, std::vector<LinTerm>> usage;
+  for (size_t i = 0; i < intervals.size(); ++i) {
+    VarId pick = model.AddBinaryVar();
+    model.AddObjectiveTerm(pick, intervals[i].weight);
+    for (int t = intervals[i].start; t < intervals[i].end; ++t) {
+      usage[t].push_back({pick, 1.0});
+    }
+  }
+  for (auto& [t, terms] : usage) {
+    model.AddConstraint(std::move(terms), ConstraintSense::kLessEqual, 1.0);
+  }
+
+  MilpOptions options;
+  options.rel_gap = 0.0;
+  options.time_limit_seconds = 30.0;
+  options.max_nodes = 200000;
+  MilpResult result = MilpSolver(model, options).Solve();
+  ASSERT_TRUE(result.HasSolution());
+  EXPECT_NEAR(result.objective, dp_optimum, 1e-6);
+}
+
+// Degenerate equality system solved through phase 1 at scale.
+TEST(LpStressTest, EqualityLadder) {
+  constexpr int kN = 80;
+  MilpModel model;
+  for (int i = 0; i < kN; ++i) {
+    model.AddContinuousVar(0.0, 10.0);
+  }
+  model.AddObjectiveTerm(kN - 1, 1.0);
+  // x_0 = 1; x_{i+1} = x_i (all forced to 1).
+  model.AddConstraint({{0, 1.0}}, ConstraintSense::kEqual, 1.0);
+  for (int i = 0; i + 1 < kN; ++i) {
+    model.AddConstraint({{i + 1, 1.0}, {i, -1.0}}, ConstraintSense::kEqual,
+                        0.0);
+  }
+  LpResult result = LpSolver(model).Solve();
+  ASSERT_EQ(result.status, LpStatus::kOptimal);
+  EXPECT_NEAR(result.objective, 1.0, 1e-6);
+  for (int i = 0; i < kN; ++i) {
+    EXPECT_NEAR(result.values[i], 1.0, 1e-6);
+  }
+}
+
+}  // namespace
+}  // namespace tetrisched

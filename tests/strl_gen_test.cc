@@ -1,0 +1,201 @@
+// Tests for the STRL Generator: plan-ahead expansion, job-type plugins,
+// deadline culling, and NH mode.
+
+#include <gtest/gtest.h>
+
+#include "src/core/strl_gen.h"
+
+namespace tetrisched {
+namespace {
+
+Job MakeSloJob(JobId id, JobType type, int k, SimDuration runtime,
+               SimTime deadline, double slowdown = 1.5) {
+  Job job;
+  job.id = id;
+  job.type = type;
+  job.wants_reservation = true;
+  job.k = k;
+  job.submit = 0;
+  job.actual_runtime = runtime;
+  job.slowdown = slowdown;
+  job.deadline = deadline;
+  job.slo_class = SloClass::kSloAccepted;
+  return job;
+}
+
+class StrlGenTest : public ::testing::Test {
+ protected:
+  StrlGenTest()
+      : cluster_(MakeUniformCluster(4, 4, 2)),
+        generator_(cluster_, {.plan_ahead = 64, .quantum = 8}) {}
+
+  Cluster cluster_;
+  StrlGenerator generator_;
+};
+
+TEST_F(StrlGenTest, UnconstrainedJobGetsOneOptionPerStart) {
+  Job job = MakeSloJob(1, JobType::kUnconstrained, 2, 20, 1000);
+  OptionRegistry registry;
+  auto expr = generator_.GenerateJobExpr(job, /*now=*/0, &registry);
+  ASSERT_TRUE(expr.has_value());
+  // Starts: 0, 8, 16, ..., 56 -> 8 options (plan-ahead 64, quantum 8).
+  EXPECT_EQ(CountLeaves(*expr), 8);
+  EXPECT_EQ(registry.size(), 8u);
+  for (const auto& [tag, option] : registry) {
+    EXPECT_EQ(option.job, 1);
+    EXPECT_EQ(option.est_duration, 20);
+    EXPECT_TRUE(option.preferred);
+  }
+}
+
+TEST_F(StrlGenTest, MisalignedNowStartsImmediatelyThenAligns) {
+  Job job = MakeSloJob(1, JobType::kUnconstrained, 2, 20, 1000);
+  OptionRegistry registry;
+  auto expr = generator_.GenerateJobExpr(job, /*now=*/10, &registry);
+  ASSERT_TRUE(expr.has_value());
+  std::vector<SimTime> starts;
+  for (const auto& [tag, option] : registry) {
+    starts.push_back(option.start);
+  }
+  std::sort(starts.begin(), starts.end());
+  EXPECT_EQ(starts.front(), 10);  // immediate option
+  EXPECT_EQ(starts[1], 16);       // next aligned quantum boundary
+  for (size_t i = 1; i < starts.size(); ++i) {
+    EXPECT_EQ(starts[i] % 8, 0);
+  }
+}
+
+TEST_F(StrlGenTest, GpuJobHasPreferredAndFallback) {
+  Job job = MakeSloJob(2, JobType::kGpu, 2, 20, 1000);
+  OptionRegistry registry;
+  auto expr = generator_.GenerateJobExpr(job, 0, &registry);
+  ASSERT_TRUE(expr.has_value());
+  int preferred = 0, fallback = 0;
+  for (const auto& [tag, option] : registry) {
+    if (option.preferred) {
+      ++preferred;
+      EXPECT_EQ(option.est_duration, 20);
+    } else {
+      ++fallback;
+      EXPECT_EQ(option.est_duration, 30);  // 1.5x slowdown
+    }
+  }
+  EXPECT_EQ(preferred, 8);
+  EXPECT_EQ(fallback, 8);
+}
+
+TEST_F(StrlGenTest, MpiJobEnumeratesRacks) {
+  Job job = MakeSloJob(3, JobType::kMpi, 3, 20, 1000);
+  OptionRegistry registry;
+  auto expr = generator_.GenerateJobExpr(job, 0, &registry);
+  ASSERT_TRUE(expr.has_value());
+  // Per start: 4 rack options + 1 fallback = 5; 8 starts.
+  EXPECT_EQ(CountLeaves(*expr), 40);
+}
+
+TEST_F(StrlGenTest, MpiGangLargerThanRackHasOnlyFallback) {
+  Job job = MakeSloJob(4, JobType::kMpi, 6, 20, 1000);  // rack holds 4
+  OptionRegistry registry;
+  auto expr = generator_.GenerateJobExpr(job, 0, &registry);
+  ASSERT_TRUE(expr.has_value());
+  for (const auto& [tag, option] : registry) {
+    EXPECT_FALSE(option.preferred);
+  }
+}
+
+TEST_F(StrlGenTest, DeadlineCullsLateStarts) {
+  // Deadline 30, runtime 20: only starts with s+20 <= 30 survive (s in
+  // {0, 8}).
+  Job job = MakeSloJob(5, JobType::kUnconstrained, 2, 20, 30);
+  OptionRegistry registry;
+  auto expr = generator_.GenerateJobExpr(job, 0, &registry);
+  ASSERT_TRUE(expr.has_value());
+  EXPECT_EQ(CountLeaves(*expr), 2);
+}
+
+TEST_F(StrlGenTest, UnreachableDeadlineDropsJob) {
+  Job job = MakeSloJob(6, JobType::kUnconstrained, 2, 50, 30);
+  OptionRegistry registry;
+  EXPECT_FALSE(generator_.GenerateJobExpr(job, 0, &registry).has_value());
+}
+
+TEST_F(StrlGenTest, DeadlinePassedDropsJob) {
+  Job job = MakeSloJob(7, JobType::kUnconstrained, 2, 20, 100);
+  EXPECT_FALSE(generator_.GenerateJobExpr(job, /*now=*/200, nullptr)
+                   .has_value());
+}
+
+TEST_F(StrlGenTest, BestEffortJobNeverDropped) {
+  Job job;
+  job.id = 8;
+  job.k = 1;
+  job.actual_runtime = 30;
+  job.slo_class = SloClass::kBestEffort;
+  auto expr = generator_.GenerateJobExpr(job, /*now=*/100000, nullptr);
+  ASSERT_TRUE(expr.has_value());
+  EXPECT_GT(CountLeaves(*expr), 0);
+}
+
+TEST_F(StrlGenTest, NhModeCollapsesToUnconstrainedSlow) {
+  StrlGenerator nh(cluster_,
+                   {.plan_ahead = 64, .quantum = 8,
+                    .heterogeneity_aware = false});
+  Job job = MakeSloJob(9, JobType::kGpu, 2, 20, 1000);
+  OptionRegistry registry;
+  auto expr = nh.GenerateJobExpr(job, 0, &registry);
+  ASSERT_TRUE(expr.has_value());
+  EXPECT_EQ(CountLeaves(*expr), 8);  // one whole-cluster option per start
+  for (const auto& [tag, option] : registry) {
+    EXPECT_FALSE(option.preferred);
+    EXPECT_EQ(option.est_duration, 30);  // conservative slow estimate
+  }
+}
+
+TEST_F(StrlGenTest, AvailabilityJobUsesMinOverRacks) {
+  Job job = MakeSloJob(10, JobType::kAvailability, 2, 20, 1000, 1.0);
+  OptionRegistry registry;
+  auto expr = generator_.GenerateJobExpr(job, 0, &registry);
+  ASSERT_TRUE(expr.has_value());
+  // 2 racks involved per start, 8 starts -> 16 leaves.
+  EXPECT_EQ(CountLeaves(*expr), 16);
+}
+
+TEST_F(StrlGenTest, TagsAreStableAcrossCycles) {
+  // The same absolute slot must map to the same tag regardless of `now`, so
+  // deferred plans can warm-start the next cycle.
+  Job job = MakeSloJob(11, JobType::kUnconstrained, 2, 20, 1000);
+  OptionRegistry at0, at4;
+  generator_.GenerateJobExpr(job, 0, &at0);
+  generator_.GenerateJobExpr(job, 4, &at4);
+  int common = 0;
+  for (const auto& [tag, option] : at4) {
+    auto it = at0.find(tag);
+    if (it != at0.end() && option.start > 4) {
+      EXPECT_EQ(it->second.start, option.start);
+      ++common;
+    }
+  }
+  EXPECT_GT(common, 4);
+}
+
+TEST_F(StrlGenTest, ValueDecreasesWithLaterCompletionForBestEffort) {
+  Job job;
+  job.id = 12;
+  job.k = 1;
+  job.actual_runtime = 16;
+  job.slo_class = SloClass::kBestEffort;
+  OptionRegistry registry;
+  generator_.GenerateJobExpr(job, 0, &registry);
+  std::map<SimTime, double> value_by_start;
+  for (const auto& [tag, option] : registry) {
+    value_by_start[option.start] = option.value;
+  }
+  double prev = 1e18;
+  for (const auto& [start, value] : value_by_start) {
+    EXPECT_LT(value, prev);
+    prev = value;
+  }
+}
+
+}  // namespace
+}  // namespace tetrisched

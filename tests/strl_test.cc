@@ -1,0 +1,126 @@
+// Tests for STRL expression construction, evaluation, and value functions.
+
+#include <gtest/gtest.h>
+
+#include "src/strl/strl.h"
+#include "src/strl/value.h"
+
+namespace tetrisched {
+namespace {
+
+TEST(StrlTest, LeafConstruction) {
+  StrlExpr leaf = NCk({0, 1}, 2, 10, 20, 4.0, 7);
+  EXPECT_EQ(leaf.kind, StrlKind::kNCk);
+  EXPECT_TRUE(leaf.IsLeaf());
+  EXPECT_EQ(leaf.k, 2);
+  EXPECT_EQ(leaf.interval(), (TimeRange{10, 30}));
+  EXPECT_EQ(leaf.tag, 7);
+}
+
+TEST(StrlTest, CountersAndPrinter) {
+  StrlExpr expr = Sum({Max({NCk({0}, 1, 0, 10, 1.0, 1), NCk({1}, 1, 0, 10, 2.0, 2)}),
+                       NCk({0, 1}, 2, 0, 5, 3.0, 3)});
+  EXPECT_EQ(CountLeaves(expr), 3);
+  EXPECT_EQ(CountNodes(expr), 5);
+  std::string text = ToString(expr);
+  EXPECT_NE(text.find("sum("), std::string::npos);
+  EXPECT_NE(text.find("max("), std::string::npos);
+  EXPECT_NE(text.find("nCk({p0,p1}, k=2"), std::string::npos);
+}
+
+TEST(StrlEvaluateTest, NCkSatisfiedOnlyWithFullGang) {
+  StrlExpr leaf = NCk({0, 1}, 3, 0, 10, 5.0, 42);
+  LeafGrants full{{42, {{0, 2}, {1, 1}}}};
+  LeafGrants partial{{42, {{0, 2}}}};
+  LeafGrants wrong_partition{{42, {{5, 3}}}};
+  EXPECT_DOUBLE_EQ(EvaluateStrl(leaf, full), 5.0);
+  EXPECT_DOUBLE_EQ(EvaluateStrl(leaf, partial), 0.0);
+  EXPECT_DOUBLE_EQ(EvaluateStrl(leaf, wrong_partition), 0.0);
+  EXPECT_DOUBLE_EQ(EvaluateStrl(leaf, {}), 0.0);
+}
+
+TEST(StrlEvaluateTest, LnCkScalesLinearly) {
+  StrlExpr leaf = LnCk({0}, 4, 0, 10, 8.0, 1);
+  EXPECT_DOUBLE_EQ(EvaluateStrl(leaf, {{1, {{0, 2}}}}), 4.0);
+  EXPECT_DOUBLE_EQ(EvaluateStrl(leaf, {{1, {{0, 4}}}}), 8.0);
+  // Grants above k are clamped.
+  EXPECT_DOUBLE_EQ(EvaluateStrl(leaf, {{1, {{0, 9}}}}), 8.0);
+}
+
+TEST(StrlEvaluateTest, MaxPicksBestChild) {
+  StrlExpr expr = Max({NCk({0}, 1, 0, 10, 3.0, 1), NCk({1}, 1, 0, 10, 7.0, 2)});
+  EXPECT_DOUBLE_EQ(EvaluateStrl(expr, {{2, {{1, 1}}}}), 7.0);
+  EXPECT_DOUBLE_EQ(EvaluateStrl(expr, {{1, {{0, 1}}}}), 3.0);
+  EXPECT_DOUBLE_EQ(EvaluateStrl(expr, {}), 0.0);
+}
+
+TEST(StrlEvaluateTest, MinRequiresAllChildren) {
+  // Anti-affinity: one node from each of two racks (paper Fig 1 Availability
+  // job).
+  StrlExpr expr = Min({NCk({0}, 1, 0, 10, 2.0, 1), NCk({1}, 1, 0, 10, 2.0, 2)});
+  EXPECT_DOUBLE_EQ(EvaluateStrl(expr, {{1, {{0, 1}}}, {2, {{1, 1}}}}), 2.0);
+  EXPECT_DOUBLE_EQ(EvaluateStrl(expr, {{1, {{0, 1}}}}), 0.0);
+}
+
+TEST(StrlEvaluateTest, ScaleAndBarrier) {
+  StrlExpr scaled = Scale(NCk({0}, 1, 0, 10, 2.0, 1), 2.5);
+  EXPECT_DOUBLE_EQ(EvaluateStrl(scaled, {{1, {{0, 1}}}}), 5.0);
+
+  StrlExpr pass = Barrier(NCk({0}, 1, 0, 10, 4.0, 1), 3.0);
+  EXPECT_DOUBLE_EQ(EvaluateStrl(pass, {{1, {{0, 1}}}}), 3.0);
+
+  StrlExpr blocked = Barrier(NCk({0}, 1, 0, 10, 2.0, 1), 3.0);
+  EXPECT_DOUBLE_EQ(EvaluateStrl(blocked, {{1, {{0, 1}}}}), 0.0);
+}
+
+TEST(StrlEvaluateTest, SumAggregates) {
+  StrlExpr expr = Sum({NCk({0}, 1, 0, 10, 1.0, 1), NCk({0}, 1, 0, 10, 2.0, 2),
+                       NCk({0}, 1, 0, 10, 4.0, 3)});
+  LeafGrants grants{{1, {{0, 1}}}, {3, {{0, 1}}}};
+  EXPECT_DOUBLE_EQ(EvaluateStrl(expr, grants), 5.0);
+}
+
+// --- Value functions (paper Fig 5) -----------------------------------------
+
+TEST(ValueFunctionTest, AcceptedSloStep) {
+  ValueFunction v = AcceptedSloValue(/*deadline=*/100);
+  EXPECT_DOUBLE_EQ(v.At(0), 1000.0);
+  EXPECT_DOUBLE_EQ(v.At(100), 1000.0);
+  EXPECT_DOUBLE_EQ(v.At(101), 0.0);
+  EXPECT_TRUE(v.is_step());
+}
+
+TEST(ValueFunctionTest, UnreservedSloStep) {
+  ValueFunction v = UnreservedSloValue(/*deadline=*/50);
+  EXPECT_DOUBLE_EQ(v.At(50), 25.0);
+  EXPECT_DOUBLE_EQ(v.At(51), 0.0);
+}
+
+TEST(ValueFunctionTest, SloPriorityOrdering) {
+  // Fig 5: accepted SLO >> SLO w/o reservation >> best effort, at any time
+  // before the deadline.
+  ValueFunction accepted = AcceptedSloValue(100);
+  ValueFunction unreserved = UnreservedSloValue(100);
+  ValueFunction best_effort = BestEffortValue(0, 1000);
+  for (SimTime t : {0, 10, 50, 100}) {
+    EXPECT_GT(accepted.At(t), unreserved.At(t));
+    EXPECT_GT(unreserved.At(t), best_effort.At(t));
+  }
+}
+
+TEST(ValueFunctionTest, BestEffortDecaysToFloor) {
+  ValueFunction v = BestEffortValue(/*submit=*/0, /*decay_horizon=*/100);
+  EXPECT_DOUBLE_EQ(v.At(0), 1.0);
+  EXPECT_GT(v.At(50), v.At(99));
+  EXPECT_NEAR(v.At(100), kBestEffortFloorFraction, 1e-9);
+  // Never hits zero: long-waiting BE jobs stay schedulable.
+  EXPECT_GT(v.At(100000), 0.0);
+}
+
+TEST(ValueFunctionTest, BestEffortPrefersEarlierCompletion) {
+  ValueFunction v = BestEffortValue(10, 200);
+  EXPECT_GT(v.At(20), v.At(120));
+}
+
+}  // namespace
+}  // namespace tetrisched

@@ -1,0 +1,111 @@
+// Tests for the simulation trace recorder and its simulator integration.
+
+#include <gtest/gtest.h>
+
+#include "src/baseline/capacity_scheduler.h"
+#include "src/core/scheduler.h"
+#include "src/sim/simulator.h"
+#include "src/sim/trace.h"
+
+namespace tetrisched {
+namespace {
+
+Job MakeJob(JobId id, int k, SimDuration runtime, SimTime submit,
+            SimTime deadline = kTimeNever, bool slo = false) {
+  Job job;
+  job.id = id;
+  job.k = k;
+  job.actual_runtime = runtime;
+  job.submit = submit;
+  job.deadline = deadline;
+  job.wants_reservation = slo;
+  return job;
+}
+
+TEST(TraceTest, RecordsAndCounts) {
+  SimTrace trace;
+  trace.Record({0, TraceEventKind::kSubmit, 1});
+  trace.Record({4, TraceEventKind::kStart, 1, -1, 2});
+  trace.Record({10, TraceEventKind::kComplete, 1, -1, 2});
+  EXPECT_EQ(trace.size(), 3u);
+  EXPECT_EQ(trace.CountKind(TraceEventKind::kSubmit), 1);
+  EXPECT_EQ(trace.CountKind(TraceEventKind::kPreempt), 0);
+}
+
+TEST(TraceTest, CsvFormat) {
+  SimTrace trace;
+  trace.Record({4, TraceEventKind::kStart, 7, -1, 3});
+  std::string csv = trace.ToCsv();
+  EXPECT_NE(csv.find("time,kind,job,node,count,value"), std::string::npos);
+  EXPECT_NE(csv.find("4,start,7,-1,3,0"), std::string::npos);
+}
+
+TEST(TraceTest, TimelineReflectsLoad) {
+  SimTrace trace;
+  // 4-node cluster fully busy for the first half, idle after.
+  trace.Record({0, TraceEventKind::kStart, 1, -1, 4});
+  trace.Record({50, TraceEventKind::kComplete, 1, -1, 4});
+  trace.Record({100, TraceEventKind::kCycle, -1, -1, 0, 0.0});
+  std::string timeline = trace.RenderUtilizationTimeline(4, 10);
+  // First buckets saturated ('#'), later buckets idle ('.').
+  EXPECT_NE(timeline.find('#'), std::string::npos);
+  EXPECT_NE(timeline.find('.'), std::string::npos);
+  size_t open = timeline.find('[');
+  ASSERT_NE(open, std::string::npos);
+  EXPECT_EQ(timeline[open + 1], '#');
+  EXPECT_EQ(timeline[timeline.find(']') - 1], '.');
+}
+
+TEST(TraceTest, EmptyTraceIsSafe) {
+  SimTrace trace;
+  EXPECT_EQ(trace.RenderUtilizationTimeline(4), "(empty trace)");
+  EXPECT_NE(trace.ToCsv().find("time,kind"), std::string::npos);
+}
+
+TEST(TraceIntegrationTest, SimulatorRecordsLifecycle) {
+  Cluster cluster = MakeUniformCluster(2, 4, 0);
+  std::vector<Job> jobs{MakeJob(1, 2, 50, 0), MakeJob(2, 2, 30, 10)};
+  ApplyAdmission(cluster, jobs);
+  TetriSchedConfig config = TetriSchedConfig::Full();
+  config.milp.rel_gap = 0.0;
+  TetriScheduler scheduler(cluster, config);
+  SimTrace trace;
+  SimConfig sim_config;
+  sim_config.trace = &trace;
+  Simulator sim(cluster, scheduler, jobs, sim_config);
+  sim.Run();
+
+  EXPECT_EQ(trace.CountKind(TraceEventKind::kSubmit), 2);
+  EXPECT_EQ(trace.CountKind(TraceEventKind::kStart), 2);
+  EXPECT_EQ(trace.CountKind(TraceEventKind::kComplete), 2);
+  EXPECT_GT(trace.CountKind(TraceEventKind::kCycle), 0);
+
+  // Events are time ordered.
+  SimTime prev = 0;
+  for (const TraceEvent& event : trace.events()) {
+    EXPECT_GE(event.time, prev);
+    prev = event.time;
+  }
+}
+
+TEST(TraceIntegrationTest, RecordsPreemptionsAndFailures) {
+  Cluster cluster = MakeUniformCluster(2, 4, 0);
+  std::vector<Job> jobs{
+      MakeJob(1, 8, 200, 0),                      // BE hog
+      MakeJob(2, 8, 50, 20, /*deadline=*/300, true)};  // reserved SLO
+  ApplyAdmission(cluster, jobs);
+  CapacityScheduler scheduler(cluster);
+  SimTrace trace;
+  SimConfig sim_config;
+  sim_config.trace = &trace;
+  sim_config.node_failures = {{100, 0, 150}};
+  Simulator sim(cluster, scheduler, jobs, sim_config);
+  sim.Run();
+
+  EXPECT_GT(trace.CountKind(TraceEventKind::kPreempt), 0);
+  EXPECT_EQ(trace.CountKind(TraceEventKind::kNodeFail), 1);
+  EXPECT_EQ(trace.CountKind(TraceEventKind::kNodeRecover), 1);
+}
+
+}  // namespace
+}  // namespace tetrisched

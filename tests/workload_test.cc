@@ -1,0 +1,158 @@
+// Tests for the workload generator: Table-1 compositions, load calibration,
+// and reproducibility.
+
+#include <gtest/gtest.h>
+
+#include "src/workload/workload.h"
+
+namespace tetrisched {
+namespace {
+
+WorkloadParams Params(WorkloadKind kind, int num_jobs = 400,
+                      uint64_t seed = 7) {
+  WorkloadParams params;
+  params.kind = kind;
+  params.num_jobs = num_jobs;
+  params.seed = seed;
+  return params;
+}
+
+class WorkloadTest : public ::testing::Test {
+ protected:
+  WorkloadTest() : cluster_(MakeUniformCluster(4, 4, 2)) {}
+  Cluster cluster_;
+};
+
+TEST_F(WorkloadTest, CompositionsMatchTable1) {
+  WorkloadComposition gr_slo = CompositionFor(WorkloadKind::kGrSlo);
+  EXPECT_DOUBLE_EQ(gr_slo.slo_fraction, 1.0);
+  WorkloadComposition gr_mix = CompositionFor(WorkloadKind::kGrMix);
+  EXPECT_DOUBLE_EQ(gr_mix.slo_fraction, 0.52);
+  WorkloadComposition gs_mix = CompositionFor(WorkloadKind::kGsMix);
+  EXPECT_DOUBLE_EQ(gs_mix.slo_fraction, 0.70);
+  WorkloadComposition gs_het = CompositionFor(WorkloadKind::kGsHet);
+  EXPECT_DOUBLE_EQ(gs_het.slo_fraction, 0.75);
+  EXPECT_DOUBLE_EQ(gs_het.gpu_fraction, 0.5);
+  EXPECT_DOUBLE_EQ(gs_het.mpi_fraction, 0.5);
+}
+
+TEST_F(WorkloadTest, GrSloIsAllSlo) {
+  std::vector<Job> jobs = GenerateWorkload(cluster_, Params(WorkloadKind::kGrSlo));
+  for (const Job& job : jobs) {
+    EXPECT_TRUE(job.wants_reservation);
+    EXPECT_NE(job.deadline, kTimeNever);
+    EXPECT_EQ(job.type, JobType::kUnconstrained);
+  }
+}
+
+TEST_F(WorkloadTest, MixFractionsApproximatelyHold) {
+  std::vector<Job> jobs = GenerateWorkload(cluster_, Params(WorkloadKind::kGrMix, 2000));
+  int slo = 0;
+  for (const Job& job : jobs) {
+    slo += job.wants_reservation ? 1 : 0;
+  }
+  EXPECT_NEAR(static_cast<double>(slo) / jobs.size(), 0.52, 0.05);
+}
+
+TEST_F(WorkloadTest, HetMixSplitsGpuMpi) {
+  std::vector<Job> jobs = GenerateWorkload(cluster_, Params(WorkloadKind::kGsHet, 2000));
+  int gpu = 0, mpi = 0, slo = 0;
+  for (const Job& job : jobs) {
+    if (!job.wants_reservation) {
+      EXPECT_EQ(job.type, JobType::kUnconstrained);  // BE jobs homogeneous
+      continue;
+    }
+    ++slo;
+    if (job.type == JobType::kGpu) {
+      ++gpu;
+      EXPECT_GT(job.slowdown, 1.0);
+    } else if (job.type == JobType::kMpi) {
+      ++mpi;
+      EXPECT_GT(job.slowdown, 1.0);
+    }
+  }
+  EXPECT_NEAR(static_cast<double>(gpu) / slo, 0.5, 0.06);
+  EXPECT_NEAR(static_cast<double>(mpi) / slo, 0.5, 0.06);
+}
+
+TEST_F(WorkloadTest, GangsFitPreferredResources) {
+  std::vector<Job> jobs = GenerateWorkload(cluster_, Params(WorkloadKind::kGsHet, 1000));
+  int max_rack = cluster_.CapacityOf(cluster_.RackPartitions(0));
+  int gpu_capacity = cluster_.CapacityOf(cluster_.GpuPartitions());
+  for (const Job& job : jobs) {
+    EXPECT_GE(job.k, 1);
+    if (job.type == JobType::kMpi) {
+      EXPECT_LE(job.k, max_rack);
+    }
+    if (job.type == JobType::kGpu) {
+      EXPECT_LE(job.k, gpu_capacity);
+    }
+  }
+}
+
+TEST_F(WorkloadTest, LoadCalibration) {
+  WorkloadParams params = Params(WorkloadKind::kGsMix, 1000);
+  params.target_load = 1.0;
+  std::vector<Job> jobs = GenerateWorkload(cluster_, params);
+  double work = 0.0;
+  SimTime last = 0;
+  for (const Job& job : jobs) {
+    work += static_cast<double>(job.k) * job.actual_runtime;
+    last = std::max(last, job.submit);
+  }
+  double offered_load = work / (static_cast<double>(cluster_.num_nodes()) * last);
+  EXPECT_NEAR(offered_load, 1.0, 0.25);  // Poisson arrival noise
+}
+
+TEST_F(WorkloadTest, DeadlinesHaveSlack) {
+  std::vector<Job> jobs = GenerateWorkload(cluster_, Params(WorkloadKind::kGrSlo, 500));
+  for (const Job& job : jobs) {
+    SimTime slack_window = job.deadline - job.submit;
+    EXPECT_GE(slack_window, 2 * job.actual_runtime);
+    EXPECT_LE(slack_window, 4 * job.actual_runtime + 1);
+  }
+}
+
+TEST_F(WorkloadTest, EstimateErrorPropagates) {
+  WorkloadParams params = Params(WorkloadKind::kGsMix, 10);
+  params.estimate_error = 0.5;
+  std::vector<Job> jobs = GenerateWorkload(cluster_, params);
+  for (const Job& job : jobs) {
+    EXPECT_NEAR(static_cast<double>(job.EstimatedRuntime(true)),
+                1.5 * job.actual_runtime, 1.0);
+  }
+}
+
+TEST_F(WorkloadTest, SameSeedSameWorkload) {
+  std::vector<Job> a = GenerateWorkload(cluster_, Params(WorkloadKind::kGsHet));
+  std::vector<Job> b = GenerateWorkload(cluster_, Params(WorkloadKind::kGsHet));
+  ASSERT_EQ(a.size(), b.size());
+  for (size_t i = 0; i < a.size(); ++i) {
+    EXPECT_EQ(a[i].submit, b[i].submit);
+    EXPECT_EQ(a[i].actual_runtime, b[i].actual_runtime);
+    EXPECT_EQ(a[i].k, b[i].k);
+    EXPECT_EQ(a[i].type, b[i].type);
+  }
+}
+
+TEST_F(WorkloadTest, DifferentSeedsDiffer) {
+  std::vector<Job> a = GenerateWorkload(cluster_, Params(WorkloadKind::kGsHet, 100, 1));
+  std::vector<Job> b = GenerateWorkload(cluster_, Params(WorkloadKind::kGsHet, 100, 2));
+  int differing = 0;
+  for (size_t i = 0; i < a.size(); ++i) {
+    if (a[i].actual_runtime != b[i].actual_runtime) {
+      ++differing;
+    }
+  }
+  EXPECT_GT(differing, 50);
+}
+
+TEST_F(WorkloadTest, DescribeMentionsCounts) {
+  std::vector<Job> jobs = GenerateWorkload(cluster_, Params(WorkloadKind::kGsHet, 50));
+  std::string text = DescribeWorkload(jobs);
+  EXPECT_NE(text.find("50 jobs"), std::string::npos);
+  EXPECT_NE(text.find("node-seconds"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace tetrisched
