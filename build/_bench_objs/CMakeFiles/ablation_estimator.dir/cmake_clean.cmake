@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/ablation_estimator"
+  "../bench/ablation_estimator.pdb"
+  "CMakeFiles/ablation_estimator.dir/ablation_estimator.cc.o"
+  "CMakeFiles/ablation_estimator.dir/ablation_estimator.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_estimator.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/ablation_waiting"
+  "../bench/ablation_waiting.pdb"
+  "CMakeFiles/ablation_waiting.dir/ablation_waiting.cc.o"
+  "CMakeFiles/ablation_waiting.dir/ablation_waiting.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_waiting.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

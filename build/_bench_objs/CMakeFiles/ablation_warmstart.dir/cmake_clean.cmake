@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/ablation_warmstart"
+  "../bench/ablation_warmstart.pdb"
+  "CMakeFiles/ablation_warmstart.dir/ablation_warmstart.cc.o"
+  "CMakeFiles/ablation_warmstart.dir/ablation_warmstart.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_warmstart.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig04_milp_example"
+  "../bench/fig04_milp_example.pdb"
+  "CMakeFiles/fig04_milp_example.dir/fig04_milp_example.cc.o"
+  "CMakeFiles/fig04_milp_example.dir/fig04_milp_example.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig04_milp_example.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig06_grmix_error_sweep"
+  "../bench/fig06_grmix_error_sweep.pdb"
+  "CMakeFiles/fig06_grmix_error_sweep.dir/fig06_grmix_error_sweep.cc.o"
+  "CMakeFiles/fig06_grmix_error_sweep.dir/fig06_grmix_error_sweep.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig06_grmix_error_sweep.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig09_soft_constraints"
+  "../bench/fig09_soft_constraints.pdb"
+  "CMakeFiles/fig09_soft_constraints.dir/fig09_soft_constraints.cc.o"
+  "CMakeFiles/fig09_soft_constraints.dir/fig09_soft_constraints.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig09_soft_constraints.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

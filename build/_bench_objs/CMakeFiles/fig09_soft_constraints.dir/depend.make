@@ -1,0 +1,2 @@
+# Empty dependencies file for fig09_soft_constraints.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig10_global_vs_greedy"
+  "../bench/fig10_global_vs_greedy.pdb"
+  "CMakeFiles/fig10_global_vs_greedy.dir/fig10_global_vs_greedy.cc.o"
+  "CMakeFiles/fig10_global_vs_greedy.dir/fig10_global_vs_greedy.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig10_global_vs_greedy.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig11_planahead_sweep"
+  "../bench/fig11_planahead_sweep.pdb"
+  "CMakeFiles/fig11_planahead_sweep.dir/fig11_planahead_sweep.cc.o"
+  "CMakeFiles/fig11_planahead_sweep.dir/fig11_planahead_sweep.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig11_planahead_sweep.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

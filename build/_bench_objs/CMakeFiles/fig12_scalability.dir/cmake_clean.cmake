@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig12_scalability"
+  "../bench/fig12_scalability.pdb"
+  "CMakeFiles/fig12_scalability.dir/fig12_scalability.cc.o"
+  "CMakeFiles/fig12_scalability.dir/fig12_scalability.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig12_scalability.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

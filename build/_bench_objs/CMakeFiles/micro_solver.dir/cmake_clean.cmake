@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/micro_solver"
+  "../bench/micro_solver.pdb"
+  "CMakeFiles/micro_solver.dir/micro_solver.cc.o"
+  "CMakeFiles/micro_solver.dir/micro_solver.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/micro_solver.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/scale_sweep"
+  "../bench/scale_sweep.pdb"
+  "CMakeFiles/scale_sweep.dir/scale_sweep.cc.o"
+  "CMakeFiles/scale_sweep.dir/scale_sweep.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/scale_sweep.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/tr_burstiness"
+  "../bench/tr_burstiness.pdb"
+  "CMakeFiles/tr_burstiness.dir/tr_burstiness.cc.o"
+  "CMakeFiles/tr_burstiness.dir/tr_burstiness.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tr_burstiness.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gpu_affinity.dir/gpu_affinity.cpp.o"
+  "CMakeFiles/gpu_affinity.dir/gpu_affinity.cpp.o.d"
+  "gpu_affinity"
+  "gpu_affinity.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gpu_affinity.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

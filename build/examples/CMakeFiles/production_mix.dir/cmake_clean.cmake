@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/production_mix.dir/production_mix.cpp.o"
+  "CMakeFiles/production_mix.dir/production_mix.cpp.o.d"
+  "production_mix"
+  "production_mix.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/production_mix.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/strl_tool.dir/strl_tool.cpp.o"
+  "CMakeFiles/strl_tool.dir/strl_tool.cpp.o.d"
+  "strl_tool"
+  "strl_tool.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/strl_tool.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

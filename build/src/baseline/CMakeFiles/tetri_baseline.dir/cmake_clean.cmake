@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tetri_baseline.dir/capacity_scheduler.cc.o"
+  "CMakeFiles/tetri_baseline.dir/capacity_scheduler.cc.o.d"
+  "CMakeFiles/tetri_baseline.dir/delay_scheduler.cc.o"
+  "CMakeFiles/tetri_baseline.dir/delay_scheduler.cc.o.d"
+  "libtetri_baseline.a"
+  "libtetri_baseline.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tetri_baseline.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

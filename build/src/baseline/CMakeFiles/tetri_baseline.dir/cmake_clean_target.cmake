@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libtetri_baseline.a"
+)

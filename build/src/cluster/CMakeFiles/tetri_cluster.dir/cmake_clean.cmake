@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tetri_cluster.dir/availability.cc.o"
+  "CMakeFiles/tetri_cluster.dir/availability.cc.o.d"
+  "CMakeFiles/tetri_cluster.dir/cluster.cc.o"
+  "CMakeFiles/tetri_cluster.dir/cluster.cc.o.d"
+  "CMakeFiles/tetri_cluster.dir/ledger.cc.o"
+  "CMakeFiles/tetri_cluster.dir/ledger.cc.o.d"
+  "libtetri_cluster.a"
+  "libtetri_cluster.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tetri_cluster.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tetri_common.dir/logging.cc.o"
+  "CMakeFiles/tetri_common.dir/logging.cc.o.d"
+  "CMakeFiles/tetri_common.dir/rng.cc.o"
+  "CMakeFiles/tetri_common.dir/rng.cc.o.d"
+  "CMakeFiles/tetri_common.dir/stats.cc.o"
+  "CMakeFiles/tetri_common.dir/stats.cc.o.d"
+  "CMakeFiles/tetri_common.dir/time.cc.o"
+  "CMakeFiles/tetri_common.dir/time.cc.o.d"
+  "libtetri_common.a"
+  "libtetri_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tetri_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

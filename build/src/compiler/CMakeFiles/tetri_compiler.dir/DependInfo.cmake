@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/compiler/compiler.cc" "src/compiler/CMakeFiles/tetri_compiler.dir/compiler.cc.o" "gcc" "src/compiler/CMakeFiles/tetri_compiler.dir/compiler.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/strl/CMakeFiles/tetri_strl.dir/DependInfo.cmake"
+  "/root/repo/build/src/cluster/CMakeFiles/tetri_cluster.dir/DependInfo.cmake"
+  "/root/repo/build/src/solver/CMakeFiles/tetri_solver.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/tetri_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

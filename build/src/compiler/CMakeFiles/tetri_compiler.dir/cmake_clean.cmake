@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tetri_compiler.dir/compiler.cc.o"
+  "CMakeFiles/tetri_compiler.dir/compiler.cc.o.d"
+  "libtetri_compiler.a"
+  "libtetri_compiler.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tetri_compiler.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/estimator.cc" "src/core/CMakeFiles/tetri_core.dir/estimator.cc.o" "gcc" "src/core/CMakeFiles/tetri_core.dir/estimator.cc.o.d"
+  "/root/repo/src/core/job.cc" "src/core/CMakeFiles/tetri_core.dir/job.cc.o" "gcc" "src/core/CMakeFiles/tetri_core.dir/job.cc.o.d"
+  "/root/repo/src/core/plan_render.cc" "src/core/CMakeFiles/tetri_core.dir/plan_render.cc.o" "gcc" "src/core/CMakeFiles/tetri_core.dir/plan_render.cc.o.d"
+  "/root/repo/src/core/scheduler.cc" "src/core/CMakeFiles/tetri_core.dir/scheduler.cc.o" "gcc" "src/core/CMakeFiles/tetri_core.dir/scheduler.cc.o.d"
+  "/root/repo/src/core/strl_gen.cc" "src/core/CMakeFiles/tetri_core.dir/strl_gen.cc.o" "gcc" "src/core/CMakeFiles/tetri_core.dir/strl_gen.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/strl/CMakeFiles/tetri_strl.dir/DependInfo.cmake"
+  "/root/repo/build/src/cluster/CMakeFiles/tetri_cluster.dir/DependInfo.cmake"
+  "/root/repo/build/src/compiler/CMakeFiles/tetri_compiler.dir/DependInfo.cmake"
+  "/root/repo/build/src/solver/CMakeFiles/tetri_solver.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/tetri_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tetri_core.dir/estimator.cc.o"
+  "CMakeFiles/tetri_core.dir/estimator.cc.o.d"
+  "CMakeFiles/tetri_core.dir/job.cc.o"
+  "CMakeFiles/tetri_core.dir/job.cc.o.d"
+  "CMakeFiles/tetri_core.dir/plan_render.cc.o"
+  "CMakeFiles/tetri_core.dir/plan_render.cc.o.d"
+  "CMakeFiles/tetri_core.dir/scheduler.cc.o"
+  "CMakeFiles/tetri_core.dir/scheduler.cc.o.d"
+  "CMakeFiles/tetri_core.dir/strl_gen.cc.o"
+  "CMakeFiles/tetri_core.dir/strl_gen.cc.o.d"
+  "libtetri_core.a"
+  "libtetri_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tetri_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

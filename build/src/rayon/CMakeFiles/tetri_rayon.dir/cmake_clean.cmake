@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tetri_rayon.dir/rayon.cc.o"
+  "CMakeFiles/tetri_rayon.dir/rayon.cc.o.d"
+  "libtetri_rayon.a"
+  "libtetri_rayon.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tetri_rayon.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tetri_sim.dir/simulator.cc.o"
+  "CMakeFiles/tetri_sim.dir/simulator.cc.o.d"
+  "CMakeFiles/tetri_sim.dir/trace.cc.o"
+  "CMakeFiles/tetri_sim.dir/trace.cc.o.d"
+  "libtetri_sim.a"
+  "libtetri_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tetri_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

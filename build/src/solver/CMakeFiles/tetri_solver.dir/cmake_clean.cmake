@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tetri_solver.dir/milp.cc.o"
+  "CMakeFiles/tetri_solver.dir/milp.cc.o.d"
+  "CMakeFiles/tetri_solver.dir/model.cc.o"
+  "CMakeFiles/tetri_solver.dir/model.cc.o.d"
+  "CMakeFiles/tetri_solver.dir/presolve.cc.o"
+  "CMakeFiles/tetri_solver.dir/presolve.cc.o.d"
+  "CMakeFiles/tetri_solver.dir/simplex.cc.o"
+  "CMakeFiles/tetri_solver.dir/simplex.cc.o.d"
+  "libtetri_solver.a"
+  "libtetri_solver.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tetri_solver.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

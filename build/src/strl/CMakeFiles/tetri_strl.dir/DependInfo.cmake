@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/strl/parser.cc" "src/strl/CMakeFiles/tetri_strl.dir/parser.cc.o" "gcc" "src/strl/CMakeFiles/tetri_strl.dir/parser.cc.o.d"
+  "/root/repo/src/strl/strl.cc" "src/strl/CMakeFiles/tetri_strl.dir/strl.cc.o" "gcc" "src/strl/CMakeFiles/tetri_strl.dir/strl.cc.o.d"
+  "/root/repo/src/strl/value.cc" "src/strl/CMakeFiles/tetri_strl.dir/value.cc.o" "gcc" "src/strl/CMakeFiles/tetri_strl.dir/value.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/tetri_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/cluster/CMakeFiles/tetri_cluster.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tetri_strl.dir/parser.cc.o"
+  "CMakeFiles/tetri_strl.dir/parser.cc.o.d"
+  "CMakeFiles/tetri_strl.dir/strl.cc.o"
+  "CMakeFiles/tetri_strl.dir/strl.cc.o.d"
+  "CMakeFiles/tetri_strl.dir/value.cc.o"
+  "CMakeFiles/tetri_strl.dir/value.cc.o.d"
+  "libtetri_strl.a"
+  "libtetri_strl.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tetri_strl.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tetri_workload.dir/workload.cc.o"
+  "CMakeFiles/tetri_workload.dir/workload.cc.o.d"
+  "libtetri_workload.a"
+  "libtetri_workload.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tetri_workload.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/delay_scheduler_test.dir/delay_scheduler_test.cc.o"
+  "CMakeFiles/delay_scheduler_test.dir/delay_scheduler_test.cc.o.d"
+  "delay_scheduler_test"
+  "delay_scheduler_test.pdb"
+  "delay_scheduler_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/delay_scheduler_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/plan_render_test.dir/plan_render_test.cc.o"
+  "CMakeFiles/plan_render_test.dir/plan_render_test.cc.o.d"
+  "plan_render_test"
+  "plan_render_test.pdb"
+  "plan_render_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/plan_render_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

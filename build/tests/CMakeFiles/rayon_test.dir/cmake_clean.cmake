@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rayon_test.dir/rayon_test.cc.o"
+  "CMakeFiles/rayon_test.dir/rayon_test.cc.o.d"
+  "rayon_test"
+  "rayon_test.pdb"
+  "rayon_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rayon_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

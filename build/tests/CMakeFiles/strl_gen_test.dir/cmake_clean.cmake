@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/strl_gen_test.dir/strl_gen_test.cc.o"
+  "CMakeFiles/strl_gen_test.dir/strl_gen_test.cc.o.d"
+  "strl_gen_test"
+  "strl_gen_test.pdb"
+  "strl_gen_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/strl_gen_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

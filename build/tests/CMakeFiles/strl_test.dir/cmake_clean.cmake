@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/strl_test.dir/strl_test.cc.o"
+  "CMakeFiles/strl_test.dir/strl_test.cc.o.d"
+  "strl_test"
+  "strl_test.pdb"
+  "strl_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/strl_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,25 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests
+# Build directory: /root/repo/build/tests
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/build/tests/solver_test[1]_include.cmake")
+include("/root/repo/build/tests/cluster_test[1]_include.cmake")
+include("/root/repo/build/tests/strl_test[1]_include.cmake")
+include("/root/repo/build/tests/compiler_test[1]_include.cmake")
+include("/root/repo/build/tests/rayon_test[1]_include.cmake")
+include("/root/repo/build/tests/strl_gen_test[1]_include.cmake")
+include("/root/repo/build/tests/scheduler_test[1]_include.cmake")
+include("/root/repo/build/tests/workload_test[1]_include.cmake")
+include("/root/repo/build/tests/sim_test[1]_include.cmake")
+include("/root/repo/build/tests/extensions_test[1]_include.cmake")
+include("/root/repo/build/tests/common_test[1]_include.cmake")
+include("/root/repo/build/tests/parser_test[1]_include.cmake")
+include("/root/repo/build/tests/estimator_test[1]_include.cmake")
+include("/root/repo/build/tests/trace_test[1]_include.cmake")
+include("/root/repo/build/tests/plan_render_test[1]_include.cmake")
+include("/root/repo/build/tests/presolve_test[1]_include.cmake")
+include("/root/repo/build/tests/delay_scheduler_test[1]_include.cmake")
+include("/root/repo/build/tests/invariants_test[1]_include.cmake")
+include("/root/repo/build/tests/solver_stress_test[1]_include.cmake")
