@@ -1,0 +1,76 @@
+#include "bench/bench_json.h"
+
+#include <cstdio>
+#include <cstdlib>
+
+namespace tetrisched {
+namespace {
+
+std::string JsonEscape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size());
+  for (char c : s) {
+    if (c == '"' || c == '\\') {
+      out.push_back('\\');
+    }
+    out.push_back(c);
+  }
+  return out;
+}
+
+std::string FormatNumber(double v) {
+  char buf[40];
+  std::snprintf(buf, sizeof(buf), "%.6g", v);
+  return buf;
+}
+
+}  // namespace
+
+void BenchJsonWriter::Add(const std::string& name, double wall_ms,
+                          std::map<std::string, double> extra) {
+  records_.push_back({name, wall_ms, std::move(extra)});
+}
+
+std::string BenchJsonWriter::ToJson() const {
+  std::string out = "{\n  \"benchmarks\": [\n";
+  for (size_t i = 0; i < records_.size(); ++i) {
+    const Record& record = records_[i];
+    out += "    {\"name\": \"" + JsonEscape(record.name) + "\", \"wall_ms\": " +
+           FormatNumber(record.wall_ms);
+    for (const auto& [key, value] : record.extra) {
+      out += ", \"" + JsonEscape(key) + "\": " + FormatNumber(value);
+    }
+    out += i + 1 < records_.size() ? "},\n" : "}\n";
+  }
+  out += "  ]\n}\n";
+  return out;
+}
+
+bool BenchJsonWriter::Requested() {
+  const char* env = std::getenv("TETRISCHED_BENCH_JSON");
+  return env != nullptr && *env != '\0';
+}
+
+bool BenchJsonWriter::WriteIfRequested(const std::string& default_path) const {
+  const char* env = std::getenv("TETRISCHED_BENCH_JSON");
+  if (env == nullptr || *env == '\0') {
+    return false;
+  }
+  std::string value = env;
+  std::string path = (value == "1" || value == "true")
+                         ? default_path
+                         : value + "/" + default_path;
+  FILE* file = std::fopen(path.c_str(), "w");
+  if (file == nullptr) {
+    std::fprintf(stderr, "bench_json: cannot open %s for writing\n",
+                 path.c_str());
+    return false;
+  }
+  std::string json = ToJson();
+  std::fwrite(json.data(), 1, json.size(), file);
+  std::fclose(file);
+  std::printf("bench_json: wrote %s\n", path.c_str());
+  return true;
+}
+
+}  // namespace tetrisched

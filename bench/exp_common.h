@@ -42,6 +42,8 @@ struct ExperimentSpec {
   // MILP budget per cycle; the paper bounds CPLEX the same way (§3.2.2).
   double milp_time_limit = 0.15;
   int milp_max_nodes = 1500;
+  // Branch-and-bound workers per solve (0 = one per hardware thread).
+  int milp_num_threads = 0;
   SimDuration cycle_period = 4;
 };
 

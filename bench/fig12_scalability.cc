@@ -10,7 +10,9 @@
 // (scaled cluster + our own B&B solver), but the growth shape holds.
 
 #include <cstdio>
+#include <string>
 
+#include "bench/bench_json.h"
 #include "bench/exp_common.h"
 
 namespace tetrisched {
@@ -95,6 +97,21 @@ int Main() {
                 static_cast<long long>(plan_aheads[w]),
                 rows[w][0].milp_vars_mean, rows[w][0].milp_vars_max);
   }
+
+  // Machine-readable record of the latency sweep (see bench/bench_json.h).
+  BenchJsonWriter writer;
+  const char* policy_names[] = {"tetrisched", "tetrisched_ng"};
+  for (int w = 0; w < 5; ++w) {
+    for (int p = 0; p < 2; ++p) {
+      writer.Add("fig12_solver_ms_pa" +
+                     std::to_string(static_cast<long long>(plan_aheads[w])) +
+                     "_" + policy_names[p],
+                 rows[w][p].solver_ms,
+                 {{"cycle_ms", rows[w][p].cycle_ms},
+                  {"milp_vars_mean", rows[w][p].milp_vars_mean}});
+    }
+  }
+  writer.WriteIfRequested("BENCH_fig12.json");
   return 0;
 }
 

@@ -6,6 +6,10 @@
 
 #include <benchmark/benchmark.h>
 
+#include <chrono>
+#include <string>
+
+#include "bench/bench_json.h"
 #include "src/cluster/availability.h"
 #include "src/compiler/compiler.h"
 #include "src/core/strl_gen.h"
@@ -138,7 +142,85 @@ void BM_MilpSolveWarmStarted(benchmark::State& state) {
 }
 BENCHMARK(BM_MilpSolveWarmStarted)->Unit(benchmark::kMillisecond);
 
+void BM_MilpSolveThreads(benchmark::State& state) {
+  // 1-thread vs N-thread full solve of the same model: the parallel
+  // branch-and-bound scaling case.
+  Cluster cluster = MakeUniformCluster(4, 4, 2);
+  StrlGenerator gen(cluster, {.plan_ahead = 96, .quantum = 8});
+  std::vector<Job> jobs = MakeQueue(8);
+  OptionRegistry registry;
+  StrlExpr root = BuildAggregate(cluster, gen, jobs, &registry);
+  TimeGrid grid{.start = 0, .quantum = 8, .num_slices = 12};
+  AvailabilityGrid avail(cluster, grid);
+  CompiledStrl compiled = StrlCompiler(avail).Compile(root);
+  MilpOptions options;
+  options.time_limit_seconds = 10.0;
+  options.num_threads = static_cast<int>(state.range(0));
+  for (auto _ : state) {
+    MilpResult result = MilpSolver(compiled.model(), options).Solve();
+    benchmark::DoNotOptimize(result.objective);
+  }
+}
+BENCHMARK(BM_MilpSolveThreads)->Arg(1)->Arg(2)->Arg(4)
+    ->Unit(benchmark::kMillisecond);
+
+// The machine-readable solver record (satisfies a fixed op-name schema so the
+// perf trajectory can be tracked across commits): LP relaxation plus full
+// MILP solves at 1/2/4 workers, all solved to the same default 10% gap.
+// Emitted only when TETRISCHED_BENCH_JSON is set; see bench/bench_json.h.
+void EmitBenchJson() {
+  if (!BenchJsonWriter::Requested()) {
+    return;
+  }
+  BenchJsonWriter writer;
+  Cluster cluster = MakeUniformCluster(4, 4, 2);
+  StrlGenerator gen(cluster, {.plan_ahead = 96, .quantum = 8});
+  std::vector<Job> jobs = MakeQueue(8);
+  OptionRegistry registry;
+  StrlExpr root = BuildAggregate(cluster, gen, jobs, &registry);
+  TimeGrid grid{.start = 0, .quantum = 8, .num_slices = 12};
+  AvailabilityGrid avail(cluster, grid);
+  CompiledStrl compiled = StrlCompiler(avail).Compile(root);
+
+  {
+    LpSolver lp(compiled.model());
+    auto start = std::chrono::steady_clock::now();
+    LpResult lp_result = lp.Solve();
+    double ms = std::chrono::duration<double, std::milli>(
+                    std::chrono::steady_clock::now() - start)
+                    .count();
+    writer.Add("lp_relaxation_p96", ms,
+               {{"lp_iterations", static_cast<double>(lp_result.iterations)},
+                {"objective", lp_result.objective}});
+  }
+  for (int threads : {1, 2, 4}) {
+    // Generous time budget so every run terminates at the same (default 10%)
+    // gap and wall-clock differences come from the search, not the clock.
+    MilpOptions options;
+    options.time_limit_seconds = 60.0;
+    options.num_threads = threads;
+    MilpResult result = MilpSolver(compiled.model(), options).Solve();
+    writer.Add("milp_full_solve_threads" + std::to_string(threads),
+               result.solve_seconds * 1e3,
+               {{"nodes", static_cast<double>(result.nodes)},
+                {"lp_iterations", static_cast<double>(result.lp_iterations)},
+                {"threads", static_cast<double>(result.threads_used)},
+                {"objective", result.objective},
+                {"best_bound", result.best_bound}});
+  }
+  writer.WriteIfRequested("BENCH_solver.json");
+}
+
 }  // namespace
 }  // namespace tetrisched
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) {
+    return 1;
+  }
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  tetrisched::EmitBenchJson();
+  return 0;
+}

@@ -1,0 +1,61 @@
+#include "src/common/thread_pool.h"
+
+namespace tetrisched {
+
+ThreadPool::ThreadPool(int num_threads) {
+  const int count = num_threads < 1 ? 1 : num_threads;
+  threads_.reserve(count);
+  for (int i = 0; i < count; ++i) {
+    threads_.emplace_back([this] { WorkerLoop(); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    stopping_ = true;
+  }
+  work_cv_.notify_all();
+  for (std::thread& thread : threads_) {
+    thread.join();
+  }
+}
+
+void ThreadPool::Submit(std::function<void()> task) {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    tasks_.push(std::move(task));
+    ++in_flight_;
+  }
+  work_cv_.notify_one();
+}
+
+void ThreadPool::Wait() {
+  std::unique_lock<std::mutex> lock(mu_);
+  idle_cv_.wait(lock, [this] { return in_flight_ == 0; });
+}
+
+void ThreadPool::WorkerLoop() {
+  std::unique_lock<std::mutex> lock(mu_);
+  while (true) {
+    work_cv_.wait(lock, [this] { return stopping_ || !tasks_.empty(); });
+    if (tasks_.empty()) {
+      return;  // stopping and drained
+    }
+    std::function<void()> task = std::move(tasks_.front());
+    tasks_.pop();
+    lock.unlock();
+    task();
+    lock.lock();
+    if (--in_flight_ == 0) {
+      idle_cv_.notify_all();
+    }
+  }
+}
+
+int ThreadPool::HardwareThreads() {
+  const unsigned hc = std::thread::hardware_concurrency();
+  return hc == 0 ? 1 : static_cast<int>(hc);
+}
+
+}  // namespace tetrisched

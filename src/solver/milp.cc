@@ -1,12 +1,18 @@
 #include "src/solver/milp.h"
 
 #include <algorithm>
+#include <atomic>
 #include <chrono>
 #include <cmath>
+#include <condition_variable>
 #include <memory>
+#include <mutex>
 #include <queue>
+#include <set>
+#include <vector>
 
 #include "src/common/logging.h"
+#include "src/common/thread_pool.h"
 #include "src/solver/presolve.h"
 
 namespace tetrisched {
@@ -20,18 +26,22 @@ struct BoundChange {
   double upper;
 };
 
+// One branch-and-bound node. Bound tightenings are stored as a single delta
+// plus a shared pointer to the (immutable) parent, so creating a node is O(1)
+// and deep trees stop copying O(depth) change lists on every branch.
 struct Node {
   double bound;  // parent LP bound (optimistic estimate for this node)
-  std::vector<BoundChange> changes;
   int depth = 0;
   uint64_t seq = 0;  // tie-break for deterministic ordering
+  std::shared_ptr<const Node> parent;
+  BoundChange delta{-1, 0.0, 0.0};  // delta.var < 0 on the root node
 };
 
 struct NodeOrder {
   // Max-heap on bound; deeper nodes win ties (tends to find incumbents),
   // then insertion order for determinism.
-  bool operator()(const std::shared_ptr<Node>& a,
-                  const std::shared_ptr<Node>& b) const {
+  bool operator()(const std::shared_ptr<const Node>& a,
+                  const std::shared_ptr<const Node>& b) const {
     if (a->bound != b->bound) {
       return a->bound < b->bound;
     }
@@ -41,6 +51,24 @@ struct NodeOrder {
     return a->seq > b->seq;
   }
 };
+
+using NodeQueue =
+    std::priority_queue<std::shared_ptr<const Node>,
+                        std::vector<std::shared_ptr<const Node>>, NodeOrder>;
+
+// Applies the ancestor chain's bound tightenings on top of the root bounds
+// already present in lower/upper. Tightenings commute (max on lower, min on
+// upper), so walking leaf-to-root is fine.
+void ApplyNodeBounds(const Node& node, std::span<double> lower,
+                     std::span<double> upper) {
+  for (const Node* cur = &node; cur != nullptr; cur = cur->parent.get()) {
+    if (cur->delta.var < 0) {
+      continue;
+    }
+    lower[cur->delta.var] = std::max(lower[cur->delta.var], cur->delta.lower);
+    upper[cur->delta.var] = std::min(upper[cur->delta.var], cur->delta.upper);
+  }
+}
 
 // Picks the integer-like variable whose LP value is most fractional,
 // preferring binaries (choice indicators) over general integers (partition
@@ -94,11 +122,16 @@ MilpResult MilpSolver::Solve(std::span<const double> warm_start) {
     return std::chrono::duration<double>(Clock::now() - start_time).count();
   };
 
+  const int num_workers =
+      std::max(1, options_.num_threads > 0 ? options_.num_threads
+                                           : ThreadPool::HardwareThreads());
+
   if (options_.enable_presolve) {
     Presolver presolver(model_);
     if (presolver.infeasible()) {
       MilpResult result;
       result.status = MilpStatus::kInfeasible;
+      result.threads_used = num_workers;
       result.solve_seconds = elapsed();
       return result;
     }
@@ -124,9 +157,10 @@ MilpResult MilpSolver::Solve(std::span<const double> warm_start) {
   }
 
   MilpResult result;
+  result.threads_used = num_workers;
   const int n = model_.num_vars();
 
-  LpSolver lp(model_, options_.lp);
+  LpSolver root_lp(model_, options_.lp);
 
   std::vector<double> root_lower(n), root_upper(n);
   for (int v = 0; v < n; ++v) {
@@ -134,24 +168,57 @@ MilpResult MilpSolver::Solve(std::span<const double> warm_start) {
     root_upper[v] = model_.upper_bound(v);
   }
 
+  // ---- State shared between workers -------------------------------------
+  //
+  // Two locks, never held together:
+  //  * queue_mu guards the open-node queue, the bounds of in-flight nodes,
+  //    the sequence counter, and the termination flags;
+  //  * incumbent_mu guards the incumbent vector/objective. The incumbent
+  //    objective is mirrored in an atomic so the hot bound-pruning test in
+  //    every worker never takes a lock.
+  // Counters (nodes, LP iterations, stall) are plain atomics.
+  std::mutex queue_mu;
+  std::condition_variable queue_cv;
+  NodeQueue open;
+  std::multiset<double> expanding_bounds;  // bounds of nodes being expanded
+  uint64_t next_seq = 0;
+  bool done = false;
+  bool limits_hit = false;
+  bool found_unbounded = false;
+  double final_bound = 0.0;  // last global bound observed at a pop
+
+  std::mutex incumbent_mu;
   bool have_incumbent = false;
   double incumbent_obj = -kInfinity;
   std::vector<double> incumbent;
+  // Mirror of incumbent_obj; -kInfinity means "no incumbent yet".
+  std::atomic<double> incumbent_atomic{-kInfinity};
 
-  int nodes_since_improvement = 0;
+  std::atomic<int> nodes{0};
+  std::atomic<long> lp_iterations{0};
+  std::atomic<int> nodes_since_improvement{0};
+
+  auto finalize_counts = [&]() {
+    result.nodes = nodes.load(std::memory_order_relaxed);
+    result.lp_iterations = lp_iterations.load(std::memory_order_relaxed);
+    result.solve_seconds = elapsed();
+  };
+
   auto offer_incumbent = [&](std::span<const double> values) {
     std::vector<double> rounded = RoundedCopy(model_, values);
     if (!model_.IsFeasible(rounded, 1e-5)) {
       return false;
     }
     double obj = model_.ObjectiveValue(rounded);
+    std::lock_guard<std::mutex> lock(incumbent_mu);
     if (!have_incumbent || obj > incumbent_obj) {
-      if (have_incumbent && obj > incumbent_obj + options_.abs_gap) {
-        nodes_since_improvement = 0;
-      }
+      // Any strict improvement resets the stall counter, including the very
+      // first incumbent (the zero-clamped fallback or a warm start).
+      nodes_since_improvement.store(0, std::memory_order_relaxed);
       incumbent = std::move(rounded);
       incumbent_obj = obj;
       have_incumbent = true;
+      incumbent_atomic.store(obj, std::memory_order_release);
     }
     return true;
   };
@@ -171,11 +238,24 @@ MilpResult MilpSolver::Solve(std::span<const double> warm_start) {
     offer_incumbent(zero);
   }
 
+  auto gap_satisfied = [&](double bound) {
+    double inc = incumbent_atomic.load(std::memory_order_acquire);
+    if (inc == -kInfinity) {
+      return false;
+    }
+    double gap = bound - inc;
+    if (gap <= options_.abs_gap) {
+      return true;
+    }
+    return gap <= options_.rel_gap * std::max(std::abs(inc), 1e-9);
+  };
+
   // Diving heuristic: from a fractional LP point, repeatedly fix the most
   // fractional integer to a rounding (trying the nearer side first, the
   // other side on infeasibility) until integral. Cheap and effective on
   // packing structures; used at the root and periodically during the search.
-  auto dive = [&](const std::vector<double>& from_lower,
+  // `lp` is the calling worker's private solver.
+  auto dive = [&](LpSolver& lp, const std::vector<double>& from_lower,
                   const std::vector<double>& from_upper, LpResult start_relax,
                   const LpBasis* start_basis) {
     std::vector<double> dive_lower = from_lower;
@@ -199,12 +279,12 @@ MilpResult MilpSolver::Solve(std::span<const double> warm_start) {
       dive_lower[v] = near;
       dive_upper[v] = near;
       LpResult next = lp.Solve(dive_lower, dive_upper, warm);
-      result.lp_iterations += next.iterations;
+      lp_iterations.fetch_add(next.iterations, std::memory_order_relaxed);
       if (next.status != LpStatus::kOptimal && far != near) {
         dive_lower[v] = far;
         dive_upper[v] = far;
         next = lp.Solve(dive_lower, dive_upper, warm);
-        result.lp_iterations += next.iterations;
+        lp_iterations.fetch_add(next.iterations, std::memory_order_relaxed);
       }
       if (next.status != LpStatus::kOptimal) {
         // Both roundings failed: release the variable and stop diving.
@@ -221,10 +301,10 @@ MilpResult MilpSolver::Solve(std::span<const double> warm_start) {
     }
   };
 
-  // Root relaxation.
-  LpResult root = lp.Solve(root_lower, root_upper, nullptr);
-  result.lp_iterations += root.iterations;
-  result.nodes = 1;
+  // Root relaxation (always on the calling thread).
+  LpResult root = root_lp.Solve(root_lower, root_upper, nullptr);
+  lp_iterations.fetch_add(root.iterations, std::memory_order_relaxed);
+  nodes.store(1, std::memory_order_relaxed);
   if (root.status == LpStatus::kInfeasible) {
     result.status =
         have_incumbent ? MilpStatus::kFeasible : MilpStatus::kInfeasible;
@@ -233,31 +313,20 @@ MilpResult MilpSolver::Solve(std::span<const double> warm_start) {
       result.values = incumbent;
       result.best_bound = incumbent_obj;
     }
-    result.solve_seconds = elapsed();
+    finalize_counts();
     return result;
   }
   if (root.status == LpStatus::kUnbounded) {
     result.status = MilpStatus::kUnbounded;
-    result.solve_seconds = elapsed();
+    finalize_counts();
     return result;
   }
   if (root.status == LpStatus::kIterationLimit) {
     TETRI_LOG(kWarning) << "LP iteration limit at root; bound may be loose";
   }
 
-  double global_bound = root.objective;
-  LpBasis last_basis = lp.BasisSnapshot();
-
-  auto gap_satisfied = [&](double bound) {
-    if (!have_incumbent) {
-      return false;
-    }
-    double gap = bound - incumbent_obj;
-    if (gap <= options_.abs_gap) {
-      return true;
-    }
-    return gap <= options_.rel_gap * std::max(std::abs(incumbent_obj), 1e-9);
-  };
+  final_bound = root.objective;
+  LpBasis root_basis = root_lp.BasisSnapshot();
 
   int root_branch_var =
       MostFractionalVar(model_, root.values, options_.int_tol);
@@ -267,18 +336,13 @@ MilpResult MilpSolver::Solve(std::span<const double> warm_start) {
     result.objective = incumbent_obj;
     result.values = incumbent;
     result.best_bound = root.objective;
-    result.solve_seconds = elapsed();
+    finalize_counts();
     return result;
   }
   if (options_.enable_diving) {
-    dive(root_lower, root_upper, root, &last_basis);
+    dive(root_lp, root_lower, root_upper, root, &root_basis);
   }
 
-  // Best-bound branch and bound with periodic re-diving.
-  std::priority_queue<std::shared_ptr<Node>, std::vector<std::shared_ptr<Node>>,
-                      NodeOrder>
-      open;
-  uint64_t next_seq = 0;
   {
     auto node = std::make_shared<Node>();
     node->bound = root.objective;
@@ -286,92 +350,165 @@ MilpResult MilpSolver::Solve(std::span<const double> warm_start) {
     open.push(std::move(node));
   }
 
-  std::vector<double> lower(n), upper(n);
-  bool limits_hit = false;
   constexpr int kDiveEvery = 64;
 
-  while (!open.empty()) {
-    if (result.nodes >= options_.max_nodes ||
-        elapsed() > options_.time_limit_seconds) {
-      limits_hit = true;
-      break;
-    }
-    if (options_.stall_node_limit > 0 && have_incumbent &&
-        nodes_since_improvement >= options_.stall_node_limit) {
-      limits_hit = true;
-      break;
-    }
-    std::shared_ptr<Node> node = open.top();
-    global_bound = node->bound;
-    if (gap_satisfied(global_bound)) {
-      break;
-    }
-    open.pop();
-    if (have_incumbent && node->bound <= incumbent_obj + options_.abs_gap) {
-      continue;  // cannot improve on the incumbent
-    }
+  // Best-bound branch and bound over the shared queue. Each worker owns its
+  // LpSolver (and with it the warm-start basis of the last node it solved);
+  // everything else it touches is the shared state above.
+  auto worker = [&](int /*worker_id*/) {
+    LpSolver lp(model_, options_.lp);
+    LpBasis last_basis = root_basis;
+    std::vector<double> lower(n), upper(n);
 
-    lower = root_lower;
-    upper = root_upper;
-    for (const BoundChange& change : node->changes) {
-      lower[change.var] = std::max(lower[change.var], change.lower);
-      upper[change.var] = std::min(upper[change.var], change.upper);
-    }
-
-    LpResult relax = lp.Solve(lower, upper, &last_basis);
-    ++result.nodes;
-    ++nodes_since_improvement;
-    result.lp_iterations += relax.iterations;
-    if (relax.status == LpStatus::kInfeasible) {
-      continue;
-    }
-    if (relax.status == LpStatus::kIterationLimit) {
-      TETRI_LOG(kWarning) << "LP iteration limit inside B&B node; pruning";
-      continue;
-    }
-    if (relax.status == LpStatus::kUnbounded) {
-      result.status = MilpStatus::kUnbounded;
-      result.solve_seconds = elapsed();
-      return result;
-    }
-    last_basis = lp.BasisSnapshot();
-
-    double node_bound = std::min(node->bound, relax.objective);
-    if (have_incumbent && node_bound <= incumbent_obj + options_.abs_gap) {
-      continue;
-    }
-
-    int branch_var = MostFractionalVar(model_, relax.values, options_.int_tol);
-    if (branch_var < 0) {
-      offer_incumbent(relax.values);
-      continue;
-    }
-
-    if (options_.enable_diving && result.nodes % kDiveEvery == 0) {
-      dive(lower, upper, relax, &last_basis);
-      if (gap_satisfied(node_bound)) {
-        continue;
+    std::unique_lock<std::mutex> lock(queue_mu);
+    while (true) {
+      queue_cv.wait(lock, [&] {
+        return done || !open.empty() || expanding_bounds.empty();
+      });
+      if (done) {
+        break;
       }
+      if (open.empty()) {
+        if (expanding_bounds.empty()) {
+          // Queue drained and nobody is expanding: search exhausted.
+          done = true;
+          queue_cv.notify_all();
+          break;
+        }
+        continue;  // spurious wakeup while peers still expand
+      }
+      if (nodes.load(std::memory_order_relaxed) >= options_.max_nodes ||
+          elapsed() > options_.time_limit_seconds) {
+        limits_hit = true;
+        done = true;
+        queue_cv.notify_all();
+        break;
+      }
+      if (options_.stall_node_limit > 0 &&
+          incumbent_atomic.load(std::memory_order_acquire) != -kInfinity &&
+          nodes_since_improvement.load(std::memory_order_relaxed) >=
+              options_.stall_node_limit) {
+        limits_hit = true;
+        done = true;
+        queue_cv.notify_all();
+        break;
+      }
+
+      std::shared_ptr<const Node> node = open.top();
+      double global_bound = node->bound;
+      if (!expanding_bounds.empty()) {
+        global_bound = std::max(global_bound, *expanding_bounds.rbegin());
+      }
+      final_bound = global_bound;
+      if (gap_satisfied(global_bound)) {
+        done = true;
+        queue_cv.notify_all();
+        break;
+      }
+      open.pop();
+      {
+        double inc = incumbent_atomic.load(std::memory_order_acquire);
+        if (inc != -kInfinity && node->bound <= inc + options_.abs_gap) {
+          continue;  // cannot improve on the incumbent
+        }
+      }
+      auto active_it = expanding_bounds.insert(node->bound);
+      lock.unlock();
+
+      // ---- expansion, outside the queue lock ----
+      std::copy(root_lower.begin(), root_lower.end(), lower.begin());
+      std::copy(root_upper.begin(), root_upper.end(), upper.begin());
+      ApplyNodeBounds(*node, lower, upper);
+
+      LpResult relax = lp.Solve(lower, upper, &last_basis);
+      int node_count = nodes.fetch_add(1, std::memory_order_relaxed) + 1;
+      nodes_since_improvement.fetch_add(1, std::memory_order_relaxed);
+      lp_iterations.fetch_add(relax.iterations, std::memory_order_relaxed);
+
+      bool make_children = false;
+      bool hit_unbounded = false;
+      double node_bound = node->bound;
+      int branch_var = -1;
+      double branch_x = 0.0;
+
+      if (relax.status == LpStatus::kInfeasible) {
+        // Subtree empty; drop the node.
+      } else if (relax.status == LpStatus::kIterationLimit) {
+        TETRI_LOG(kWarning) << "LP iteration limit inside B&B node; pruning";
+      } else if (relax.status == LpStatus::kUnbounded) {
+        hit_unbounded = true;
+      } else {
+        last_basis = lp.BasisSnapshot();
+        node_bound = std::min(node->bound, relax.objective);
+        double inc = incumbent_atomic.load(std::memory_order_acquire);
+        if (inc == -kInfinity || node_bound > inc + options_.abs_gap) {
+          branch_var = MostFractionalVar(model_, relax.values,
+                                         options_.int_tol);
+          if (branch_var < 0) {
+            offer_incumbent(relax.values);
+          } else if (options_.enable_diving &&
+                     node_count % kDiveEvery == 0) {
+            dive(lp, lower, upper, relax, &last_basis);
+            if (!gap_satisfied(node_bound)) {
+              make_children = true;
+              branch_x = relax.values[branch_var];
+            }
+          } else {
+            make_children = true;
+            branch_x = relax.values[branch_var];
+          }
+        }
+      }
+
+      lock.lock();
+      expanding_bounds.erase(active_it);
+      if (hit_unbounded) {
+        found_unbounded = true;
+        done = true;
+      }
+      // Children are pushed even if another worker just signalled done: they
+      // keep the final best-bound honest and simply go unprocessed.
+      if (make_children) {
+        auto down = std::make_shared<Node>();
+        down->bound = node_bound;
+        down->depth = node->depth + 1;
+        down->seq = next_seq++;
+        down->parent = node;
+        down->delta = {branch_var, -kInfinity, std::floor(branch_x)};
+        open.push(std::move(down));
+
+        auto up = std::make_shared<Node>();
+        up->bound = node_bound;
+        up->depth = node->depth + 1;
+        up->seq = next_seq++;
+        up->parent = node;
+        up->delta = {branch_var, std::ceil(branch_x), kInfinity};
+        open.push(std::move(up));
+      }
+      queue_cv.notify_all();
     }
+  };
 
-    double x = relax.values[branch_var];
-    auto down = std::make_shared<Node>();
-    down->bound = node_bound;
-    down->depth = node->depth + 1;
-    down->seq = next_seq++;
-    down->changes = node->changes;
-    down->changes.push_back({branch_var, -kInfinity, std::floor(x)});
-    open.push(std::move(down));
-
-    auto up = std::make_shared<Node>();
-    up->bound = node_bound;
-    up->depth = node->depth + 1;
-    up->seq = next_seq++;
-    up->changes = node->changes;
-    up->changes.push_back({branch_var, std::ceil(x), kInfinity});
-    open.push(std::move(up));
+  if (num_workers == 1) {
+    // Run on the calling thread: identical node ordering, counts, and
+    // results to the historical sequential implementation.
+    worker(0);
+  } else {
+    ThreadPool pool(num_workers);
+    for (int w = 0; w < num_workers; ++w) {
+      pool.Submit([&worker, w] { worker(w); });
+    }
+    pool.Wait();
   }
 
+  // All workers have joined; shared state is safe to read without locks.
+  if (found_unbounded) {
+    result.status = MilpStatus::kUnbounded;
+    finalize_counts();
+    return result;
+  }
+
+  double global_bound = final_bound;
   if (!open.empty()) {
     global_bound = open.top()->bound;
   } else if (have_incumbent) {
@@ -379,7 +516,7 @@ MilpResult MilpSolver::Solve(std::span<const double> warm_start) {
   }
 
   result.best_bound = global_bound;
-  result.solve_seconds = elapsed();
+  finalize_counts();
   if (!have_incumbent) {
     result.status =
         limits_hit ? MilpStatus::kNoSolution : MilpStatus::kInfeasible;

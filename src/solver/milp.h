@@ -7,7 +7,10 @@
 // incumbent found so far is returned rather than failing.
 //
 // Search: best-bound node selection, most-fractional branching, and a diving
-// heuristic at the root to obtain an incumbent quickly.
+// heuristic at the root to obtain an incumbent quickly. With num_threads > 1
+// the tree is explored by a pool of workers sharing a best-bound node queue
+// and an incumbent; each worker owns a private LpSolver (basis warm-start
+// state) so LP solves run without any locking (see DESIGN.md §8).
 
 #ifndef TETRISCHED_SOLVER_MILP_H_
 #define TETRISCHED_SOLVER_MILP_H_
@@ -45,6 +48,12 @@ struct MilpOptions {
   // Exact model reductions before search (see presolve.h). On by default;
   // disable to measure its effect.
   bool enable_presolve = true;
+  // Branch-and-bound workers sharing one best-bound node queue. 0 means one
+  // worker per hardware thread. 1 runs the search on the calling thread with
+  // fully deterministic node ordering and node counts (use it in tests that
+  // assert either). >1 keeps the same gap/time/node guarantees but the node
+  // visit order — and therefore the node count — varies run to run.
+  int num_threads = 0;
   LpOptions lp;
 };
 
@@ -55,6 +64,7 @@ struct MilpResult {
   double best_bound = 0.0;       // proven upper bound on the optimum
   int nodes = 0;
   long lp_iterations = 0;
+  int threads_used = 1;  // resolved worker count (after the 0 = auto default)
   double solve_seconds = 0.0;
 
   bool HasSolution() const {

@@ -12,6 +12,14 @@ namespace {
 // Consecutive degenerate pivots before switching to Bland's rule.
 constexpr int kStallThreshold = 256;
 
+// Partial pricing: variables are scanned one rotating section at a time, and
+// only when the current section has no improving candidate does the scan
+// widen to the rest. A section is total_/kPricingSections variables but never
+// fewer than kMinPricingSection, so small models (every unit-test model)
+// degenerate to the exact full Dantzig scan.
+constexpr int kPricingSections = 8;
+constexpr int kMinPricingSection = 128;
+
 }  // namespace
 
 LpSolver::LpSolver(const MilpModel& model, LpOptions options)
@@ -301,17 +309,21 @@ LpStatus LpSolver::Iterate(std::span<const double> costs_in, bool phase1,
       }
     }
 
-    // Pricing: Dantzig by default, Bland when stalling.
+    // Pricing: partial (rotating-section) Dantzig by default, Bland when
+    // stalling. Optimality is only ever declared after a scan that covered
+    // every variable, so partial pricing changes the pivot sequence but not
+    // the answer; Bland's rule keeps its full lowest-index-first scan, which
+    // its anti-cycling argument requires.
     const bool bland = degenerate_streak >= kStallThreshold;
     int enter = -1;
     int enter_dir = 0;
     double best_viol = options_.cost_tol;
-    for (int v = 0; v < total_; ++v) {
+    auto price_candidate = [&](int v) {
       if (status_[v] == Status::kBasic) {
-        continue;
+        return false;
       }
       if (ub_[v] - lb_[v] <= 0.0) {
-        continue;  // fixed variable can never move
+        return false;  // fixed variable can never move
       }
       double z = costs[v] - ColumnDot(v, y);
       int dir = 0;
@@ -339,21 +351,48 @@ LpStatus LpSolver::Iterate(std::span<const double> costs_in, bool phase1,
           break;
       }
       if (dir == 0) {
-        continue;
+        return false;
       }
       if (bland) {
         enter = v;
         enter_dir = dir;
-        break;
+        return true;
       }
       if (viol > best_viol) {
         best_viol = viol;
         enter = v;
         enter_dir = dir;
       }
+      return false;
+    };
+    if (bland) {
+      for (int v = 0; v < total_; ++v) {
+        if (price_candidate(v)) {
+          break;
+        }
+      }
+    } else {
+      const int section =
+          std::max(kMinPricingSection, total_ / kPricingSections);
+      int window_start = pricing_cursor_ < total_ ? pricing_cursor_ : 0;
+      int scanned = 0;
+      while (scanned < total_) {
+        const int window_end = std::min(window_start + section, total_);
+        for (int v = window_start; v < window_end; ++v) {
+          price_candidate(v);
+        }
+        scanned += window_end - window_start;
+        if (enter >= 0) {
+          // Keep the cursor here: the section that just produced a candidate
+          // is the most likely home of the next one.
+          pricing_cursor_ = window_start;
+          break;
+        }
+        window_start = window_end >= total_ ? 0 : window_end;
+      }
     }
     if (enter < 0) {
-      return LpStatus::kOptimal;  // no improving direction
+      return LpStatus::kOptimal;  // full scan found no improving direction
     }
 
     ComputeTableauColumn(enter, w);
@@ -514,6 +553,10 @@ LpResult LpSolver::Solve(std::span<const double> lower,
   assert(static_cast<int>(lower.size()) == n_ &&
          static_cast<int>(upper.size()) == n_);
   InstallBounds(lower, upper);
+  // Reset the pricing cursor so a solve's pivot sequence depends only on its
+  // arguments, not on which solves this instance ran before (keeps
+  // single-threaded branch-and-bound runs reproducible).
+  pricing_cursor_ = 0;
 
   bool warm_ok = warm != nullptr && InstallWarmBasis(*warm);
   if (!warm_ok) {

@@ -7,7 +7,8 @@
 // Internally each row gets a slack variable so the system becomes
 // A x + I s = b with bounds on slacks encoding the row sense. The solver
 // keeps an explicit dense basis inverse, refactorized periodically, and uses
-// Dantzig pricing with a Bland's-rule fallback against cycling.
+// partial (rotating-section) Dantzig pricing — widening to a full scan before
+// declaring optimality — with a Bland's-rule fallback against cycling.
 //
 // Branch-and-bound passes per-variable bound overrides (branching decisions)
 // and may seed the solver with a basis snapshot from the parent node.
@@ -127,6 +128,7 @@ class LpSolver {
   std::vector<double> x_;         // var -> value
   std::vector<double> binv_;
   int pivots_since_refactor_ = 0;
+  int pricing_cursor_ = 0;  // start of the current partial-pricing section
 };
 
 }  // namespace tetrisched
