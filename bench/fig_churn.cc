@@ -1,0 +1,204 @@
+// Churn sweep (robustness extension; not a paper figure).
+//
+// Sweeps the stochastic fault model's per-node MTBF on the RC256-scaled
+// cluster under GS MIX and reports SLO attainment and mean best-effort
+// latency for TetriSched Full vs NoPlanAhead, plus the graceful-degradation
+// counters (failure kills, fallback cycles, validator violations). The
+// expectation mirrors the paper's plan-ahead story: under churn, plan-ahead
+// keeps reserved SLO jobs ahead of their deadlines after restarts, while
+// the no-plan-ahead ablation degrades faster.
+//
+// With TETRISCHED_BENCH_JSON set, one record per (policy, mtbf) cell is
+// written to BENCH_churn.json.
+
+#include <chrono>
+#include <cstdio>
+#include <memory>
+#include <vector>
+
+#include "bench/bench_json.h"
+#include "bench/exp_common.h"
+#include "src/sim/faults.h"
+
+namespace tetrisched {
+namespace {
+
+struct CellStats {
+  double total_slo = 0.0;     // percent
+  double accepted_slo = 0.0;  // percent
+  double be_latency = 0.0;    // seconds
+  double kills = 0.0;
+  double fallback_cycles = 0.0;
+  double violations = 0.0;
+  double readmissions = 0.0;
+  double reservations_dropped = 0.0;
+  double retries_exhausted = 0.0;
+};
+
+std::unique_ptr<SchedulerPolicy> MakeChurnPolicy(const Cluster& cluster,
+                                                 PolicyKind kind) {
+  TetriSchedConfig config = kind == PolicyKind::kTetriSchedNP
+                                ? TetriSchedConfig::NoPlanAhead()
+                                : TetriSchedConfig::Full(/*plan_ahead=*/96);
+  config.quantum = 8;
+  if (kind == PolicyKind::kTetriSchedNP) {
+    config.plan_ahead = config.quantum;
+  }
+  config.milp.time_limit_seconds = 0.15;
+  config.milp.max_nodes = 1500;
+  return std::make_unique<TetriScheduler>(cluster, config);
+}
+
+// RunExperiment (exp_common) has no fault plumbing, so this bench drives
+// admission + simulation itself and keeps the Rayon agenda alive for the
+// failure-path re-admission hook.
+CellStats RunCell(const Cluster& cluster, PolicyKind kind, double mtbf,
+                  int num_seeds, BenchJsonWriter& json) {
+  CellStats cell;
+  for (int s = 0; s < num_seeds; ++s) {
+    WorkloadParams params;
+    params.kind = WorkloadKind::kGsMix;
+    params.seed = 1000 + 17 * s;
+    params.num_jobs = 60;
+
+    std::vector<Job> jobs = GenerateWorkload(cluster, params);
+    RayonAdmission rayon(cluster.num_nodes());
+    ApplyAdmission(cluster, jobs, &rayon);
+
+    FaultModelParams faults;
+    faults.seed = 42 + s;
+    faults.horizon = 6000;
+    faults.mtbf = mtbf;
+    faults.mttr = 60.0;
+    faults.rack_burst_prob = 0.1;
+    faults.straggler_prob = 0.2;
+    faults.straggler_slowdown = 2.0;
+    FaultSchedule schedule = GenerateFaultSchedule(cluster, faults);
+
+    SimConfig sim_config;
+    sim_config.node_failures = schedule.failures;
+    sim_config.stragglers = schedule.stragglers;
+    sim_config.rayon = &rayon;
+
+    std::unique_ptr<SchedulerPolicy> policy = MakeChurnPolicy(cluster, kind);
+    Simulator sim(cluster, *policy, std::move(jobs), sim_config);
+    auto t0 = std::chrono::steady_clock::now();
+    SimMetrics metrics = sim.Run();
+    double wall_ms = std::chrono::duration<double, std::milli>(
+                         std::chrono::steady_clock::now() - t0)
+                         .count();
+
+    cell.total_slo += 100.0 * metrics.TotalSloAttainment();
+    cell.accepted_slo += 100.0 * metrics.AcceptedSloAttainment();
+    cell.be_latency += metrics.MeanBestEffortLatency();
+    cell.kills += metrics.failure_kills;
+    cell.fallback_cycles += metrics.fallback_cycles;
+    cell.violations += metrics.validator_violations;
+    cell.readmissions += metrics.readmissions;
+    cell.reservations_dropped += metrics.reservations_dropped;
+    cell.retries_exhausted += metrics.retries_exhausted;
+
+    json.Add(std::string(PolicyName(kind)) + "/mtbf=" +
+                 Fixed(mtbf, 0) + "/seed=" + std::to_string(s),
+             wall_ms,
+             {{"mtbf", mtbf},
+              {"total_slo", 100.0 * metrics.TotalSloAttainment()},
+              {"accepted_slo", 100.0 * metrics.AcceptedSloAttainment()},
+              {"be_latency", metrics.MeanBestEffortLatency()},
+              {"failure_kills", static_cast<double>(metrics.failure_kills)},
+              {"fallback_cycles",
+               static_cast<double>(metrics.fallback_cycles)},
+              {"validator_violations",
+               static_cast<double>(metrics.validator_violations)},
+              {"readmissions", static_cast<double>(metrics.readmissions)},
+              {"reservations_dropped",
+               static_cast<double>(metrics.reservations_dropped)},
+              {"retries_exhausted",
+               static_cast<double>(metrics.retries_exhausted)}});
+  }
+  double inv = 1.0 / num_seeds;
+  cell.total_slo *= inv;
+  cell.accepted_slo *= inv;
+  cell.be_latency *= inv;
+  cell.kills *= inv;
+  cell.fallback_cycles *= inv;
+  cell.violations *= inv;
+  cell.readmissions *= inv;
+  cell.reservations_dropped *= inv;
+  cell.retries_exhausted *= inv;
+  return cell;
+}
+
+int Main() {
+  Cluster cluster = MakeRc256();
+  PrintHeader("Churn sweep: SLO attainment vs per-node MTBF",
+              "GS MIX + stochastic faults (MTTR 60 s, 10% rack bursts, "
+              "20% stragglers)",
+              cluster);
+
+  // mtbf = 0 disables churn (the no-fault baseline column).
+  const std::vector<double> mtbfs = {0.0, 2400.0, 1200.0, 600.0, 300.0};
+  const std::vector<PolicyKind> policies = {PolicyKind::kTetriSched,
+                                            PolicyKind::kTetriSchedNP};
+  const int num_seeds = SeedsFromEnv(3);
+  BenchJsonWriter json;
+
+  std::vector<std::vector<CellStats>> results(mtbfs.size());
+  for (size_t m = 0; m < mtbfs.size(); ++m) {
+    for (PolicyKind kind : policies) {
+      results[m].push_back(RunCell(cluster, kind, mtbfs[m], num_seeds, json));
+    }
+  }
+
+  std::printf("\n(a) SLO attainment, all SLO jobs (%%)\n");
+  std::printf("%12s", "mtbf(s)");
+  for (PolicyKind kind : policies) {
+    std::printf(" %14s", PolicyName(kind));
+  }
+  std::printf("\n");
+  for (size_t m = 0; m < mtbfs.size(); ++m) {
+    std::printf("%12s", mtbfs[m] > 0 ? Fixed(mtbfs[m], 0).c_str() : "inf");
+    for (size_t p = 0; p < policies.size(); ++p) {
+      std::printf(" %14s", Fixed(results[m][p].total_slo).c_str());
+    }
+    std::printf("\n");
+  }
+
+  std::printf("\n(b) best-effort mean latency (s)\n");
+  std::printf("%12s", "mtbf(s)");
+  for (PolicyKind kind : policies) {
+    std::printf(" %14s", PolicyName(kind));
+  }
+  std::printf("\n");
+  for (size_t m = 0; m < mtbfs.size(); ++m) {
+    std::printf("%12s", mtbfs[m] > 0 ? Fixed(mtbfs[m], 0).c_str() : "inf");
+    for (size_t p = 0; p < policies.size(); ++p) {
+      std::printf(" %14s", Fixed(results[m][p].be_latency).c_str());
+    }
+    std::printf("\n");
+  }
+
+  std::printf(
+      "\n(c) churn accounting, averaged per run (Full policy column)\n");
+  std::printf("%12s %8s %10s %10s %8s %8s %8s\n", "mtbf(s)", "kills",
+              "fallbacks", "violations", "readmit", "resdrop", "exhaust");
+  for (size_t m = 0; m < mtbfs.size(); ++m) {
+    const CellStats& full = results[m][0];
+    std::printf("%12s %8s %10s %10s %8s %8s %8s\n",
+                mtbfs[m] > 0 ? Fixed(mtbfs[m], 0).c_str() : "inf",
+                Fixed(full.kills).c_str(),
+                Fixed(full.fallback_cycles).c_str(),
+                Fixed(full.violations).c_str(),
+                Fixed(full.readmissions).c_str(),
+                Fixed(full.reservations_dropped).c_str(),
+                Fixed(full.retries_exhausted).c_str());
+  }
+
+  json.WriteIfRequested("BENCH_churn.json");
+  return 0;
+}
+
+}  // namespace
+}  // namespace tetrisched
+
+int main() { return tetrisched::Main(); }

@@ -1,0 +1,103 @@
+#include "src/core/plan_check.h"
+
+#include <map>
+#include <set>
+#include <sstream>
+
+namespace tetrisched {
+namespace {
+
+std::string Describe(PartitionId partition, int want, int have) {
+  std::ostringstream out;
+  out << "partition " << partition << " over-committed: plan wants " << want
+      << " nodes, only " << have << " free";
+  return out.str();
+}
+
+}  // namespace
+
+std::vector<PlanViolation> ValidatePlan(
+    const Cluster& cluster, const std::vector<const Job*>& pending,
+    const std::vector<RunningHold>& running,
+    const std::vector<Placement>& start_now) {
+  std::vector<PlanViolation> violations;
+
+  std::map<JobId, const Job*> pending_by_id;
+  for (const Job* job : pending) {
+    pending_by_id[job->id] = job;
+  }
+
+  // Free capacity right now: partition capacity minus running holds. Failed
+  // nodes reach us as synthetic holds, so they are accounted for too.
+  std::vector<int> free(cluster.num_partitions());
+  for (const Partition& partition : cluster.partitions()) {
+    free[partition.id] = partition.capacity();
+  }
+  for (const RunningHold& hold : running) {
+    for (const auto& [partition, count] : hold.counts) {
+      if (partition >= 0 && partition < cluster.num_partitions()) {
+        free[partition] -= count;
+      }
+    }
+  }
+
+  std::set<JobId> placed;
+  std::vector<int> wanted(cluster.num_partitions(), 0);
+  for (const Placement& placement : start_now) {
+    auto job_it = pending_by_id.find(placement.job);
+    if (job_it == pending_by_id.end()) {
+      violations.push_back({placement.job, "placement for a non-pending job"});
+      continue;
+    }
+    if (!placed.insert(placement.job).second) {
+      violations.push_back({placement.job, "job placed twice in one plan"});
+      continue;
+    }
+    const Job& job = *job_it->second;
+
+    bool counts_ok = true;
+    for (const auto& [partition, count] : placement.counts) {
+      if (partition < 0 || partition >= cluster.num_partitions()) {
+        violations.push_back({placement.job, "partition id out of range"});
+        counts_ok = false;
+        break;
+      }
+      if (count < 0) {
+        violations.push_back({placement.job, "negative partition count"});
+        counts_ok = false;
+        break;
+      }
+    }
+    if (!counts_ok) {
+      continue;
+    }
+
+    int total = placement.total_nodes();
+    // Availability gangs legitimately place one task per rack (1..k);
+    // everything else is an exact gang of k.
+    bool gang_ok = job.type == JobType::kAvailability
+                       ? total >= 1 && total <= job.k
+                       : total == job.k;
+    if (!gang_ok) {
+      std::ostringstream out;
+      out << "gang-size violation: placed " << total << " nodes for a k="
+          << job.k << " " << ToString(job.type) << " job";
+      violations.push_back({placement.job, out.str()});
+      continue;
+    }
+    for (const auto& [partition, count] : placement.counts) {
+      wanted[partition] += count;
+    }
+  }
+
+  for (PartitionId partition = 0; partition < cluster.num_partitions();
+       ++partition) {
+    if (wanted[partition] > free[partition]) {
+      violations.push_back(
+          {-1, Describe(partition, wanted[partition], free[partition])});
+    }
+  }
+  return violations;
+}
+
+}  // namespace tetrisched

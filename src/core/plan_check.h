@@ -1,0 +1,40 @@
+// Pre-commit plan validation (defense in depth against solver/compiler
+// bugs).
+//
+// Before a cycle's start-now placements are committed to the simulator's
+// node ledger, the scheduler checks every one of them against invariants
+// that no correct plan can violate: placements must name pending jobs and
+// in-range partitions, respect gang-size semantics (exact gangs place
+// exactly k nodes; availability gangs place 1..k), and in aggregate must
+// fit inside the capacity left over by running jobs (including failed
+// nodes, which appear as synthetic holds). A plan that fails any check is
+// rejected wholesale and the scheduler drops to its greedy fallback rung
+// instead of corrupting the ledger.
+
+#ifndef TETRISCHED_CORE_PLAN_CHECK_H_
+#define TETRISCHED_CORE_PLAN_CHECK_H_
+
+#include <string>
+#include <vector>
+
+#include "src/cluster/cluster.h"
+#include "src/core/policy.h"
+
+namespace tetrisched {
+
+struct PlanViolation {
+  JobId job = -1;  // offending placement's job; -1 for aggregate violations
+  std::string reason;
+};
+
+// Checks `start_now` against `pending` (the only jobs a plan may start) and
+// the capacity not held by `running`. Returns every violation found; an
+// empty result means the plan is safe to commit.
+std::vector<PlanViolation> ValidatePlan(
+    const Cluster& cluster, const std::vector<const Job*>& pending,
+    const std::vector<RunningHold>& running,
+    const std::vector<Placement>& start_now);
+
+}  // namespace tetrisched
+
+#endif  // TETRISCHED_CORE_PLAN_CHECK_H_

@@ -16,6 +16,7 @@
 #include "src/cluster/cluster.h"
 #include "src/common/time.h"
 #include "src/core/job.h"
+#include "src/solver/solve_status.h"
 
 namespace tetrisched {
 
@@ -60,6 +61,14 @@ struct CycleStats {
   int pending_count = 0;
   int scheduled_count = 0;
   int dropped_count = 0;
+  // Graceful-degradation bookkeeping. `solve_status` is the worst MILP
+  // outcome across the cycle's solves (kOptimal for non-MILP policies);
+  // `used_fallback` marks cycles whose plan came from the greedy first-fit
+  // ladder rung instead of the solver; `validator_rejects` counts
+  // placements the pre-commit plan validator refused.
+  SolveStatus solve_status = SolveStatus::kOptimal;
+  bool used_fallback = false;
+  int validator_rejects = 0;
 };
 
 class SchedulerPolicy {

@@ -3,9 +3,11 @@
 #include <algorithm>
 #include <chrono>
 #include <cmath>
+#include <limits>
 
 #include "src/common/logging.h"
 #include "src/compiler/compiler.h"
+#include "src/core/plan_check.h"
 
 namespace tetrisched {
 namespace {
@@ -27,6 +29,21 @@ int QueueRank(const Job& job) {
       return 2;
   }
   return 2;
+}
+
+// Min free nodes of `partition` across the slices overlapped by
+// [start, start + duration), clipped to the grid.
+int FreeOver(const AvailabilityGrid& availability, PartitionId partition,
+             SimTime start, SimDuration duration) {
+  auto [first, last] = availability.grid().ClippedSliceRange(start, duration);
+  if (first >= last) {
+    return 0;
+  }
+  int free = std::numeric_limits<int>::max();
+  for (int slice = first; slice < last; ++slice) {
+    free = std::min(free, availability.avail(partition, slice));
+  }
+  return std::max(0, free);
 }
 
 }  // namespace
@@ -173,6 +190,66 @@ TetriScheduler::Decision TetriScheduler::OnCycle(
     }
   }
 
+  // Degradation ladder (DESIGN.md §9): MILP -> greedy first-fit -> skip.
+  // Rung 2: the solver ended with nothing better than the trivial empty
+  // plan, so replan the cycle with the solver-free first-fit pass.
+  auto first_fit = [&]() {
+    std::set<JobId> dropped(decision.drop.begin(), decision.drop.end());
+    std::vector<const Job*> eligible;
+    for (const Job* job : pending) {
+      if (dropped.count(job->id) == 0) {
+        eligible.push_back(job);
+      }
+    }
+    AvailabilityGrid fresh = BuildAvailability(now, running);
+    return FirstFitPass(now, eligible, fresh);
+  };
+  if (decision.stats.solve_status == SolveStatus::kNoIncumbent) {
+    decision.start_now = first_fit();
+    decision.preempt.clear();
+    decision.stats.used_fallback = true;
+    previous_plan_.clear();  // nothing from the failed solve is trustworthy
+  }
+
+  // Pre-commit plan validation (defense in depth): a plan violating ledger
+  // invariants drops to the next ladder rung instead of being committed.
+  auto validate = [&]() {
+    std::vector<RunningHold> surviving;
+    if (decision.preempt.empty()) {
+      surviving = running;
+    } else {
+      std::set<JobId> preempted(decision.preempt.begin(),
+                                decision.preempt.end());
+      for (const RunningHold& hold : running) {
+        if (preempted.count(hold.job) == 0) {
+          surviving.push_back(hold);
+        }
+      }
+    }
+    return ValidatePlan(cluster_, pending, surviving, decision.start_now);
+  };
+  std::vector<PlanViolation> violations = validate();
+  if (!violations.empty()) {
+    for (const PlanViolation& violation : violations) {
+      TETRI_LOG(kWarning) << "plan validation failed (job " << violation.job
+                          << "): " << violation.reason;
+    }
+    decision.stats.validator_rejects += static_cast<int>(violations.size());
+    previous_plan_.clear();
+    if (!decision.stats.used_fallback) {
+      decision.preempt.clear();
+      decision.start_now = first_fit();
+      decision.stats.used_fallback = true;
+      violations = validate();
+      decision.stats.validator_rejects += static_cast<int>(violations.size());
+    }
+    if (!violations.empty()) {
+      // Rung 3: even the greedy plan is unsafe; schedule nothing and
+      // replan next cycle.
+      decision.start_now.clear();
+    }
+  }
+
   decision.stats.pending_count = static_cast<int>(pending.size());
   decision.stats.scheduled_count = static_cast<int>(decision.start_now.size());
   decision.stats.dropped_count = static_cast<int>(decision.drop.size());
@@ -219,12 +296,12 @@ TetriScheduler::Decision TetriScheduler::GlobalCycle(
   MilpResult result = solver.Solve(warm);
   decision.stats.solver_seconds = result.solve_seconds;
   decision.stats.milp_nodes = result.nodes;
+  decision.stats.solve_status = result.solve_status;
   previous_plan_.clear();
   if (!result.HasSolution()) {
-    // With all-zero being feasible this only happens on solver limits;
-    // schedule nothing and replan next cycle.
-    TETRI_LOG(kWarning) << "MILP produced no schedule (status "
-                        << static_cast<int>(result.status) << ")";
+    // OnCycle reads stats.solve_status and replans the cycle greedily.
+    TETRI_LOG(kWarning) << "MILP produced no schedule ("
+                        << ToString(result.solve_status) << ")";
     return decision;
   }
 
@@ -291,6 +368,8 @@ TetriScheduler::Decision TetriScheduler::GreedyCycle(
     MilpResult result = solver.Solve();
     decision.stats.solver_seconds += result.solve_seconds;
     decision.stats.milp_nodes += result.nodes;
+    decision.stats.solve_status =
+        WorstStatus(decision.stats.solve_status, result.solve_status);
     if (!result.HasSolution() || result.objective <= 0.0) {
       continue;  // nothing schedulable for this job within the window
     }
@@ -327,6 +406,127 @@ TetriScheduler::Decision TetriScheduler::GreedyCycle(
     }
   }
   return decision;
+}
+
+std::vector<Placement> TetriScheduler::FirstFitPass(
+    SimTime now, const std::vector<const Job*>& pending,
+    AvailabilityGrid& availability) const {
+  std::vector<Placement> placements;
+
+  // Same three FIFO queues as the greedy policy: accepted SLO first.
+  std::vector<const Job*> ordered(pending.begin(), pending.end());
+  std::stable_sort(ordered.begin(), ordered.end(),
+                   [](const Job* a, const Job* b) {
+                     if (QueueRank(*a) != QueueRank(*b)) {
+                       return QueueRank(*a) < QueueRank(*b);
+                     }
+                     return a->submit < b->submit;
+                   });
+
+  // Candidate equivalence sets per job in preference order; mirrors the
+  // STRL generator's per-type options, minus the plan-ahead dimension.
+  struct Candidate {
+    PartitionSet partitions;
+    bool preferred = false;
+  };
+
+  for (const Job* job : ordered) {
+    if (config_.heterogeneity_aware && job->type == JobType::kAvailability) {
+      // Anti-affinity gang: one task per rack, up to k racks, as many as
+      // currently fit (MIN semantics allow a partial gang >= 1).
+      SimDuration duration = job->EstimatedRuntime(/*preferred=*/true);
+      if (job->deadline != kTimeNever && now + duration > job->deadline) {
+        continue;
+      }
+      std::map<PartitionId, int> take;
+      int placed = 0;
+      for (RackId rack = 0; rack < cluster_.num_racks() && placed < job->k;
+           ++rack) {
+        for (PartitionId partition : cluster_.RackPartitions(rack)) {
+          if (FreeOver(availability, partition, now, duration) >= 1) {
+            ++take[partition];
+            ++placed;
+            break;
+          }
+        }
+      }
+      if (placed < 1) {
+        continue;
+      }
+      Placement placement;
+      placement.job = job->id;
+      placement.est_duration = duration;
+      placement.preferred_belief = true;
+      for (const auto& [partition, count] : take) {
+        availability.Reduce(partition, {now, now + duration}, count);
+      }
+      placement.counts = std::move(take);
+      placements.push_back(std::move(placement));
+      continue;
+    }
+
+    std::vector<Candidate> candidates;
+    if (!config_.heterogeneity_aware) {
+      // NH mode mirrors the generator: whole cluster, conservative runtime.
+      candidates.push_back({cluster_.AllPartitions(), false});
+    } else {
+      switch (job->type) {
+        case JobType::kUnconstrained:
+          candidates.push_back({cluster_.AllPartitions(), true});
+          break;
+        case JobType::kGpu:
+          candidates.push_back({cluster_.GpuPartitions(), true});
+          candidates.push_back({cluster_.AllPartitions(), false});
+          break;
+        case JobType::kMpi:
+          for (RackId rack = 0; rack < cluster_.num_racks(); ++rack) {
+            candidates.push_back({cluster_.RackPartitions(rack), true});
+          }
+          candidates.push_back({cluster_.AllPartitions(), false});
+          break;
+        case JobType::kDataLocal:
+          candidates.push_back({job->preferred_partitions, true});
+          candidates.push_back({cluster_.AllPartitions(), false});
+          break;
+        case JobType::kAvailability:
+          break;  // handled above
+      }
+    }
+
+    for (const Candidate& candidate : candidates) {
+      SimDuration duration = job->EstimatedRuntime(candidate.preferred);
+      if (job->deadline != kTimeNever && now + duration > job->deadline) {
+        continue;  // this placement cannot meet the SLO
+      }
+      std::map<PartitionId, int> take;
+      int remaining = job->k;
+      for (PartitionId partition : candidate.partitions) {
+        if (remaining == 0) {
+          break;
+        }
+        int grab = std::min(remaining,
+                            FreeOver(availability, partition, now, duration));
+        if (grab > 0) {
+          take[partition] = grab;
+          remaining -= grab;
+        }
+      }
+      if (remaining > 0) {
+        continue;  // the gang does not fit in this equivalence set
+      }
+      Placement placement;
+      placement.job = job->id;
+      placement.est_duration = duration;
+      placement.preferred_belief = candidate.preferred;
+      for (const auto& [partition, count] : take) {
+        availability.Reduce(partition, {now, now + duration}, count);
+      }
+      placement.counts = std::move(take);
+      placements.push_back(std::move(placement));
+      break;
+    }
+  }
+  return placements;
 }
 
 }  // namespace tetrisched

@@ -15,6 +15,12 @@
 //   * global=false        -> TetriSched-NG: per-job MILPs in priority order
 //   * heterogeneity=false -> TetriSched-NH: whole-cluster, slow-runtime STRL
 //   * plan_ahead==quantum -> TetriSched-NP: now-or-never (alsched-like)
+//
+// Graceful degradation (DESIGN.md §9): when a cycle's MILP ends with no
+// usable incumbent (SolveStatus::kNoIncumbent) or the resulting plan fails
+// pre-commit validation, the cycle is replanned by a heterogeneity-aware
+// greedy first-fit pass over the same availability grid; if even that plan
+// fails validation, the cycle schedules nothing and replans next period.
 
 #ifndef TETRISCHED_CORE_SCHEDULER_H_
 #define TETRISCHED_CORE_SCHEDULER_H_
@@ -84,6 +90,14 @@ class TetriScheduler : public SchedulerPolicy {
                        std::set<JobId>* planned = nullptr);
   Decision GreedyCycle(SimTime now, const std::vector<const Job*>& pending,
                        AvailabilityGrid& availability);
+
+  // Solver-free heterogeneity-aware first-fit over the availability grid:
+  // the greedy rung of the degradation ladder. Only start-now placements
+  // are produced (no deferral, no drops). Exposed for tests via OnCycle
+  // with milp.time_limit_seconds = 0.
+  std::vector<Placement> FirstFitPass(SimTime now,
+                                      const std::vector<const Job*>& pending,
+                                      AvailabilityGrid& availability) const;
 
   TimeGrid MakeGrid(SimTime now) const;
   AvailabilityGrid BuildAvailability(

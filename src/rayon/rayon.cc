@@ -21,6 +21,20 @@ int RayonAdmission::CommittedAt(SimTime t) const {
   return committed;
 }
 
+void RayonAdmission::Release(TimeRange interval, int k) {
+  if (interval.empty() || k <= 0) {
+    return;
+  }
+  deltas_[interval.start] -= k;
+  deltas_[interval.end] += k;
+  for (SimTime t : {interval.start, interval.end}) {
+    auto it = deltas_.find(t);
+    if (it != deltas_.end() && it->second == 0) {
+      deltas_.erase(it);
+    }
+  }
+}
+
 ReservationDecision RayonAdmission::Submit(const RdlRequest& request) {
   ReservationDecision decision;
   if (request.k > capacity_ || request.duration <= 0 ||

@@ -50,6 +50,13 @@ class RayonAdmission {
   // Committed capacity at time t (sum of accepted reservations covering t).
   int CommittedAt(SimTime t) const;
 
+  // Returns a previously accepted reservation's capacity to the agenda
+  // (failure-path shrink-or-drop re-admission: release the dead gang's
+  // slot, then Submit the shrunk request). `interval`/`k` must match an
+  // accepted Submit. num_accepted() stays a lifetime counter and is not
+  // decremented.
+  void Release(TimeRange interval, int k);
+
   int capacity() const { return capacity_; }
   int num_accepted() const { return num_accepted_; }
   int num_rejected() const { return num_rejected_; }

@@ -1,0 +1,117 @@
+#include "src/sim/faults.h"
+
+#include <algorithm>
+#include <cmath>
+#include <map>
+
+#include "src/common/logging.h"
+#include "src/common/rng.h"
+
+namespace tetrisched {
+
+std::vector<NodeFailure> NormalizeNodeFailures(const Cluster& cluster,
+                                               std::vector<NodeFailure> failures,
+                                               bool log_dropped,
+                                               int* num_dropped) {
+  std::stable_sort(failures.begin(), failures.end(),
+                   [](const NodeFailure& a, const NodeFailure& b) {
+                     return a.at != b.at ? a.at < b.at : a.node < b.node;
+                   });
+  // Last accepted recover_at per node; a later entry starting before it
+  // overlaps an outage that is already in force.
+  std::map<NodeId, SimTime> down_until;
+  std::vector<NodeFailure> kept;
+  kept.reserve(failures.size());
+  int dropped = 0;
+  for (const NodeFailure& failure : failures) {
+    const char* reason = nullptr;
+    if (failure.node < 0 || failure.node >= cluster.num_nodes()) {
+      reason = "node id out of range";
+    } else if (failure.recover_at <= failure.at) {
+      reason = "recover_at <= at";
+    } else {
+      auto it = down_until.find(failure.node);
+      if (it != down_until.end() && failure.at < it->second) {
+        reason = "overlaps an earlier failure of the same node";
+      }
+    }
+    if (reason != nullptr) {
+      ++dropped;
+      if (log_dropped) {
+        TETRI_LOG(kWarning) << "dropping node-failure entry (node "
+                            << failure.node << ", at " << failure.at
+                            << "): " << reason;
+      }
+      continue;
+    }
+    down_until[failure.node] = failure.recover_at;
+    kept.push_back(failure);
+  }
+  if (num_dropped != nullptr) {
+    *num_dropped = dropped;
+  }
+  return kept;
+}
+
+FaultSchedule GenerateFaultSchedule(const Cluster& cluster,
+                                    const FaultModelParams& params) {
+  FaultSchedule schedule;
+  if (params.mtbf <= 0.0 || cluster.num_nodes() == 0) {
+    return schedule;
+  }
+
+  auto downtime = [&](Rng& rng) {
+    return std::max<SimDuration>(
+        1, static_cast<SimDuration>(std::llround(rng.Exponential(
+               std::max(1.0, params.mttr)))));
+  };
+
+  Rng root(params.seed);
+  // Burst decisions draw from their own substream so every node's churn
+  // stream stays identical whether or not bursts are enabled elsewhere.
+  Rng burst_rng = root.Fork();
+  for (NodeId node = 0; node < cluster.num_nodes(); ++node) {
+    Rng rng = root.Fork();
+    SimTime t = static_cast<SimTime>(std::llround(rng.Exponential(params.mtbf)));
+    for (int count = 0; count < params.max_failures_per_node; ++count) {
+      if (t >= params.horizon) {
+        break;
+      }
+      SimDuration down = downtime(rng);
+      if (params.straggler_prob > 0.0 && rng.Bernoulli(params.straggler_prob)) {
+        schedule.stragglers.push_back(
+            {t, node, t + down, params.straggler_slowdown});
+      } else {
+        schedule.failures.push_back({t, node, t + down});
+        if (params.rack_burst_prob > 0.0 &&
+            burst_rng.Bernoulli(params.rack_burst_prob)) {
+          RackId rack = cluster.node(node).rack;
+          for (NodeId peer = 0; peer < cluster.num_nodes(); ++peer) {
+            if (peer == node || cluster.node(peer).rack != rack) {
+              continue;
+            }
+            SimTime peer_at =
+                t + burst_rng.UniformInt(0, std::max<SimDuration>(
+                                                0, params.rack_burst_span));
+            schedule.failures.push_back({peer_at, peer, peer_at + down});
+          }
+        }
+      }
+      t += down + static_cast<SimTime>(
+                      std::llround(rng.Exponential(params.mtbf)));
+    }
+  }
+
+  // Bursts and independent churn can collide on a node; resolve overlaps
+  // here (quietly — they are a modeling artifact, not user error) so the
+  // simulator sees the same clean event stream a scripted scenario feeds it.
+  schedule.failures = NormalizeNodeFailures(cluster, std::move(schedule.failures),
+                                            /*log_dropped=*/false);
+  std::stable_sort(schedule.stragglers.begin(), schedule.stragglers.end(),
+                   [](const StragglerEvent& a, const StragglerEvent& b) {
+                     return a.at != b.at ? a.at < b.at : a.node < b.node;
+                   });
+  return schedule;
+}
+
+}  // namespace tetrisched

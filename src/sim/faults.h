@@ -1,0 +1,94 @@
+// Fault model: scripted and stochastic node churn plus fail-slow injection.
+//
+// The simulator consumes two flat, time-sorted event lists — fail-stop
+// `NodeFailure`s and fail-slow `StragglerEvent`s. Hand-scripted scenarios
+// build these lists directly; the seeded stochastic model here *compiles
+// down* to the same lists (per-node exponential MTBF/MTTR churn,
+// rack-correlated failure bursts, straggler injection), so both kinds of
+// fault share one code path through the simulator's ledger machinery and
+// are exactly reproducible from a seed.
+
+#ifndef TETRISCHED_SIM_FAULTS_H_
+#define TETRISCHED_SIM_FAULTS_H_
+
+#include <vector>
+
+#include "src/cluster/cluster.h"
+#include "src/common/time.h"
+
+namespace tetrisched {
+
+// Fail-stop: `node` dies at `at` (any task running on it is killed and its
+// whole gang requeued) and, optionally, rejoins at `recover_at`.
+struct NodeFailure {
+  SimTime at = 0;
+  NodeId node = -1;
+  SimTime recover_at = kTimeNever;
+
+  bool operator==(const NodeFailure& other) const = default;
+};
+
+// Fail-slow: `node` stays in service but multiplies the true runtime of any
+// gang *started* on it while the event is active. Gangs already running
+// when a straggler begins are unaffected (the slowdown is sampled at
+// placement time).
+struct StragglerEvent {
+  SimTime at = 0;
+  NodeId node = -1;
+  SimTime recover_at = kTimeNever;
+  double slowdown = 1.0;
+
+  bool operator==(const StragglerEvent& other) const = default;
+};
+
+// Validates and normalizes a failure list before the run starts: drops
+// entries with `recover_at <= at`, out-of-range node ids, and entries
+// overlapping an earlier failure of the same node. Returns the surviving
+// entries sorted by (at, node). When `log_dropped`, one warning is logged
+// per dropped entry; `num_dropped` (optional) receives the drop count.
+std::vector<NodeFailure> NormalizeNodeFailures(
+    const Cluster& cluster, std::vector<NodeFailure> failures,
+    bool log_dropped = true, int* num_dropped = nullptr);
+
+// Knobs of the seeded stochastic fault model. All churn is disabled when
+// `mtbf <= 0`.
+struct FaultModelParams {
+  uint64_t seed = 1;
+  SimTime horizon = 4000;  // events generated in [0, horizon)
+
+  // Per-node exponential churn: failures arrive with mean inter-failure
+  // gap `mtbf` seconds; each outage lasts Exp(mttr) seconds (min 1 s).
+  double mtbf = 0.0;
+  double mttr = 60.0;
+
+  // With this probability a fail-stop failure becomes a rack-correlated
+  // burst: every other node of the rack fails within `rack_burst_span`
+  // seconds for the same outage duration (shared switch / PDU failure).
+  double rack_burst_prob = 0.0;
+  SimDuration rack_burst_span = 4;
+
+  // With this probability a generated fault is fail-slow instead of
+  // fail-stop: the node keeps running but gangs started on it run
+  // `straggler_slowdown` times longer.
+  double straggler_prob = 0.0;
+  double straggler_slowdown = 2.0;
+
+  // Safety cap on events per node (runaway-parameter guard).
+  int max_failures_per_node = 10000;
+};
+
+struct FaultSchedule {
+  std::vector<NodeFailure> failures;      // normalized, sorted by (at, node)
+  std::vector<StragglerEvent> stragglers; // sorted by (at, node)
+};
+
+// Deterministically expands the stochastic model into concrete event lists.
+// Same cluster + params => byte-identical schedule (each node draws from
+// its own forked substream, so the lists are stable under reordering of
+// unrelated code).
+FaultSchedule GenerateFaultSchedule(const Cluster& cluster,
+                                    const FaultModelParams& params);
+
+}  // namespace tetrisched
+
+#endif  // TETRISCHED_SIM_FAULTS_H_

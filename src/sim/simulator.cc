@@ -1,7 +1,7 @@
 #include "src/sim/simulator.h"
 
 #include <algorithm>
-#include <cassert>
+#include <cmath>
 #include <map>
 #include <queue>
 #include <set>
@@ -56,8 +56,10 @@ bool IsPreferredPlacement(const Cluster& cluster, const Job& job,
   return true;
 }
 
-int ApplyAdmission(const Cluster& cluster, std::vector<Job>& jobs) {
-  RayonAdmission rayon(cluster.num_nodes());
+int ApplyAdmission(const Cluster& cluster, std::vector<Job>& jobs,
+                   RayonAdmission* rayon_in) {
+  RayonAdmission local(cluster.num_nodes());
+  RayonAdmission& rayon = rayon_in != nullptr ? *rayon_in : local;
   int accepted = 0;
   for (Job& job : jobs) {
     if (!job.wants_reservation) {
@@ -145,17 +147,42 @@ SimMetrics Simulator::Run() {
                       std::vector<std::pair<SimTime, JobId>>, std::greater<>>
       completions;
 
-  // Fault injection bookkeeping.
-  std::vector<NodeFailure> failures = config_.node_failures;
-  std::sort(failures.begin(), failures.end(),
-            [](const NodeFailure& a, const NodeFailure& b) {
-              return a.at < b.at;
-            });
+  // Fault injection bookkeeping. Scripted failure lists are validated up
+  // front — entries with recover_at <= at, out-of-range node ids, or
+  // overlapping duplicates are dropped with one warning each instead of
+  // being silently skipped mid-run.
+  std::vector<NodeFailure> failures =
+      NormalizeNodeFailures(cluster_, config_.node_failures);
   size_t next_failure = 0;
   std::priority_queue<std::pair<SimTime, NodeId>,
                       std::vector<std::pair<SimTime, NodeId>>, std::greater<>>
       recoveries;
   std::map<NodeId, SimTime> failed_nodes;  // node -> recover_at
+
+  // Fail-slow (straggler) bookkeeping: episodes activate at `at`, expire at
+  // `recover_at`, and only affect gangs *started* while active.
+  std::vector<StragglerEvent> stragglers = config_.stragglers;
+  std::stable_sort(stragglers.begin(), stragglers.end(),
+                   [](const StragglerEvent& a, const StragglerEvent& b) {
+                     return a.at != b.at ? a.at < b.at : a.node < b.node;
+                   });
+  size_t next_straggler = 0;
+  std::vector<StragglerEvent> active_stragglers;
+  std::priority_queue<SimTime, std::vector<SimTime>, std::greater<>>
+      straggler_ends;
+  auto straggle_factor = [&](const std::vector<NodeId>& nodes) {
+    double factor = 1.0;
+    for (const StragglerEvent& event : active_stragglers) {
+      if (std::find(nodes.begin(), nodes.end(), event.node) != nodes.end()) {
+        factor = std::max(factor, event.slowdown);
+      }
+    }
+    return factor;
+  };
+
+  // Retry/backoff state for failure-killed gangs.
+  std::vector<SimTime> eligible_at(n, 0);
+  std::vector<SimTime> last_kill(n, -1);
 
   int next_arrival = 0;
   int outstanding = n;  // not yet completed/dropped
@@ -184,6 +211,12 @@ SimMetrics Simulator::Run() {
     }
     if (!recoveries.empty()) {
       next_event = std::min(next_event, recoveries.top().first);
+    }
+    if (next_straggler < stragglers.size()) {
+      next_event = std::min(next_event, stragglers[next_straggler].at);
+    }
+    if (!straggler_ends.empty()) {
+      next_event = std::min(next_event, straggler_ends.top());
     }
     now = next_event;
     advance_to(now);
@@ -219,8 +252,19 @@ SimMetrics Simulator::Run() {
       --outstanding;
     }
 
-    // Node failures: kill whatever ran on the node, requeue the gang, and
-    // take the node out of circulation until recovery.
+    // Node recoveries before failures: a node recovering at exactly the
+    // instant a later failure entry targets it must be back in circulation
+    // first, or that failure would be silently skipped as a duplicate.
+    while (!recoveries.empty() && recoveries.top().first <= now) {
+      auto [time, node] = recoveries.top();
+      recoveries.pop();
+      ledger.ReturnSpecific(node);
+      trace({now, TraceEventKind::kNodeRecover, -1, node});
+      failed_nodes.erase(node);
+    }
+
+    // Node failures: kill whatever ran on the node, requeue the gang under
+    // the retry policy, and take the node out of circulation until recovery.
     while (next_failure < failures.size() &&
            failures[next_failure].at <= now) {
       const NodeFailure& failure = failures[next_failure++];
@@ -235,14 +279,63 @@ SimMetrics Simulator::Run() {
               nodes.end()) {
             continue;
           }
-          int i = index[it->first];
+          JobId victim = it->first;
+          int i = index[victim];
           ledger.Release(nodes);
           busy_nodes -= static_cast<int>(nodes.size());
-          trace({now, TraceEventKind::kFailureKill, it->first, failure.node,
+          trace({now, TraceEventKind::kFailureKill, victim, failure.node,
                  static_cast<int32_t>(nodes.size())});
           running.erase(it);
-          state[i] = JobState::kPending;  // gang restarts from scratch
           ++metrics.failure_kills;
+          JobOutcome& outcome = metrics.outcomes[i];
+          ++outcome.retries;
+          if (outcome.retries > config_.max_retries) {
+            // Retry budget exhausted: drop instead of requeueing.
+            state[i] = JobState::kDropped;
+            outcome.dropped = true;
+            ++metrics.retries_exhausted;
+            trace({now, TraceEventKind::kDrop, victim});
+            --outstanding;
+            break;
+          }
+          state[i] = JobState::kPending;  // gang restarts from scratch
+          last_kill[i] = now;
+          SimDuration backoff = 0;
+          if (config_.retry_backoff > 0) {
+            backoff = std::min(config_.retry_backoff_cap,
+                               config_.retry_backoff
+                                   << std::min(outcome.retries - 1, 30));
+          }
+          eligible_at[i] = now + backoff;
+
+          // Shrink-or-drop re-admission: an accepted-SLO gang whose
+          // reserved slot can no longer start on time gets one shot at a
+          // new reservation over the remaining window; on rejection it is
+          // downgraded to unreserved (it keeps running best-effort-style
+          // toward its deadline).
+          Job& job = jobs_[i];
+          if (config_.rayon != nullptr &&
+              job.slo_class == SloClass::kSloAccepted &&
+              job.reservation.start < eligible_at[i]) {
+            config_.rayon->Release(job.reservation, job.k);
+            RdlRequest request;
+            request.requester = job.id;
+            request.k = job.k;
+            request.duration = job.EstimatedRuntime(/*preferred=*/true);
+            request.window_start = eligible_at[i];
+            request.window_end = job.deadline;
+            ReservationDecision redo = config_.rayon->Submit(request);
+            if (redo.accepted) {
+              job.reservation = redo.interval;
+              ++outcome.readmissions;
+              ++metrics.readmissions;
+            } else {
+              job.slo_class = SloClass::kSloUnreserved;
+              job.reservation = {0, 0};
+              outcome.reservation_dropped = true;
+              ++metrics.reservations_dropped;
+            }
+          }
           break;
         }
       }
@@ -254,13 +347,32 @@ SimMetrics Simulator::Run() {
       }
     }
 
-    // Node recoveries.
-    while (!recoveries.empty() && recoveries.top().first <= now) {
-      auto [time, node] = recoveries.top();
-      recoveries.pop();
-      ledger.ReturnSpecific(node);
-      trace({now, TraceEventKind::kNodeRecover, -1, node});
-      failed_nodes.erase(node);
+    // Fail-slow episodes: expire finished ones, then activate those due.
+    if (!straggler_ends.empty() && straggler_ends.top() <= now) {
+      while (!straggler_ends.empty() && straggler_ends.top() <= now) {
+        straggler_ends.pop();
+      }
+      for (auto it = active_stragglers.begin();
+           it != active_stragglers.end();) {
+        if (it->recover_at <= now) {
+          trace({now, TraceEventKind::kNodeSlowRecover, -1, it->node});
+          it = active_stragglers.erase(it);
+        } else {
+          ++it;
+        }
+      }
+    }
+    while (next_straggler < stragglers.size() &&
+           stragglers[next_straggler].at <= now) {
+      const StragglerEvent& event = stragglers[next_straggler++];
+      if (event.node < 0 || event.node >= cluster_.num_nodes() ||
+          event.recover_at <= event.at || event.slowdown <= 1.0) {
+        continue;
+      }
+      active_stragglers.push_back(event);
+      straggler_ends.push(event.recover_at);
+      trace({now, TraceEventKind::kNodeSlow, -1, event.node, 0,
+             event.slowdown});
     }
 
     if (now < next_cycle) {
@@ -273,6 +385,9 @@ SimMetrics Simulator::Run() {
     for (int i = 0; i < n; ++i) {
       if (state[i] != JobState::kPending) {
         continue;
+      }
+      if (eligible_at[i] > now) {
+        continue;  // still backing off after a failure kill
       }
       if (config_.learn_estimates) {
         jobs_[i].learned_estimate_preferred =
@@ -313,6 +428,12 @@ SimMetrics Simulator::Run() {
     if (decision.stats.milp_vars > 0) {
       metrics.milp_vars.Add(decision.stats.milp_vars);
     }
+    if (decision.stats.used_fallback) {
+      ++metrics.fallback_cycles;
+      trace({now, TraceEventKind::kFallback, -1, -1,
+             static_cast<int32_t>(decision.start_now.size())});
+    }
+    metrics.validator_violations += decision.stats.validator_rejects;
 
     // Preemptions first (they free capacity the placements may rely on).
     for (JobId id : decision.preempt) {
@@ -343,32 +464,65 @@ SimMetrics Simulator::Run() {
     }
 
     for (const Placement& placement : decision.start_now) {
+      // Last line of defense: the scheduler's own ValidatePlan should have
+      // caught malformed placements, but a buggy policy must never corrupt
+      // the ledger — reject the placement, count it, and keep running.
+      auto reject = [&](const char* why) {
+        ++metrics.validator_violations;
+        trace({now, TraceEventKind::kPlanReject, placement.job});
+        TETRI_LOG(kWarning) << "rejected placement of job " << placement.job
+                            << ": " << why;
+      };
       auto it = index.find(placement.job);
-      assert(it != index.end());
+      if (it == index.end()) {
+        reject("unknown job id");
+        continue;
+      }
       int i = it->second;
       if (state[i] != JobState::kPending) {
-        TETRI_LOG(kWarning) << "policy placed non-pending job "
-                            << placement.job;
+        reject("job is not pending");
         continue;
       }
       const Job& job = jobs_[i];
       // Availability-type jobs may legitimately place fewer tasks than k
       // (one per rack); everything else is an exact gang.
-      assert(placement.total_nodes() >= 1 && placement.total_nodes() <= job.k);
+      if (placement.total_nodes() < 1 || placement.total_nodes() > job.k) {
+        reject("gang size out of range");
+        continue;
+      }
+      bool fits = true;
+      for (const auto& [partition, count] : placement.counts) {
+        if (partition < 0 || partition >= cluster_.num_partitions() ||
+            count < 0 || count > ledger.free_in_partition(partition)) {
+          fits = false;
+          break;
+        }
+      }
+      if (!fits) {
+        reject("exceeds free partition capacity");
+        continue;
+      }
 
       RunningJob run;
       run.counts = placement.counts;
       for (const auto& [partition, count] : placement.counts) {
-        assert(count <= ledger.free_in_partition(partition));
         std::vector<NodeId> nodes = ledger.Acquire(partition, count);
         run.nodes.insert(run.nodes.end(), nodes.begin(), nodes.end());
       }
       busy_nodes += static_cast<int>(run.nodes.size());
 
-      // Ground truth runtime from the *actual* placement quality.
+      // Ground truth runtime from the *actual* placement quality, stretched
+      // by any fail-slow episode active on the gang's nodes at start.
       bool preferred = IsPreferredPlacement(cluster_, job, run.counts);
+      SimDuration actual = job.ActualRuntime(preferred);
+      double slow = straggle_factor(run.nodes);
+      if (slow > 1.0) {
+        actual = static_cast<SimDuration>(
+            std::llround(static_cast<double>(actual) * slow));
+        ++metrics.straggler_slowed_starts;
+      }
       run.start = now;
-      run.actual_end = now + job.ActualRuntime(preferred);
+      run.actual_end = now + actual;
       run.expected_end = now + placement.est_duration;
       completions.push({run.actual_end, job.id});
       running[job.id] = std::move(run);
@@ -380,6 +534,12 @@ SimMetrics Simulator::Run() {
       outcome.started = true;
       if (outcome.start_time < 0) {
         outcome.start_time = now;
+      }
+      if (last_kill[i] >= 0) {
+        SimDuration gap = now - last_kill[i];
+        outcome.recovery_latency += gap;
+        metrics.recovery_latency.Add(static_cast<double>(gap));
+        last_kill[i] = -1;
       }
       outcome.preferred = preferred;
       outcome.placement = placement.counts;
@@ -468,6 +628,13 @@ std::string SimMetrics::Summary() const {
       << "; BE mean latency " << MeanBestEffortLatency()
       << " s; utilization " << FormatPercent(utilization, 1.0)
       << "; makespan " << makespan << " s";
+  if (failure_kills > 0 || fallback_cycles > 0 || validator_violations > 0) {
+    out << "; churn: " << failure_kills << " kills, " << retries_exhausted
+        << " retry-exhausted, " << readmissions << " readmissions, "
+        << reservations_dropped << " reservations dropped, "
+        << fallback_cycles << " fallback cycles, " << validator_violations
+        << " validator violations";
+  }
   return out.str();
 }
 

@@ -22,22 +22,31 @@
 #include "src/core/job.h"
 #include "src/core/policy.h"
 #include "src/rayon/rayon.h"
+#include "src/sim/faults.h"
 #include "src/sim/trace.h"
 
 namespace tetrisched {
 
-// Fault injection: `node` dies at `at` (any task running on it is killed and
-// its whole gang requeued) and, optionally, rejoins at `recover_at`.
-struct NodeFailure {
-  SimTime at = 0;
-  NodeId node = -1;
-  SimTime recover_at = kTimeNever;
-};
-
 struct SimConfig {
   SimDuration cycle_period = 4;  // paper §6.3: TetriSched cycle = 4 s
   SimTime max_time = 4000000;    // safety stop
+  // Fault injection (faults.h): scripted lists or the output of
+  // GenerateFaultSchedule. node_failures is validated/normalized up front
+  // (bad entries are dropped with one warning each).
   std::vector<NodeFailure> node_failures;
+  std::vector<StragglerEvent> stragglers;
+  // Retry policy for failure-killed gangs: a killed gang re-enters the
+  // pending queue after a capped exponential backoff
+  // (min(retry_backoff_cap, retry_backoff << (kills-1)); 0 = immediate)
+  // and is dropped outright after max_retries kills.
+  int max_retries = 5;
+  SimDuration retry_backoff = 4;
+  SimDuration retry_backoff_cap = 64;
+  // Re-admission hook: when set (the agenda used by ApplyAdmission), an
+  // accepted-SLO gang whose reservation no longer fits its post-kill
+  // restart window is re-admitted against the remaining window
+  // (shrink) or downgraded to unreserved (drop). Not owned.
+  RayonAdmission* rayon = nullptr;
   // Run a RuntimeEstimator in the loop: completions train it, and pending
   // jobs from sufficiently-observed clusters have their (error-injected)
   // estimates replaced by learned ones (paper Fig 2's Perforator role).
@@ -54,8 +63,12 @@ bool IsPreferredPlacement(const Cluster& cluster, const Job& job,
 
 // Runs every reservation-seeking job through Rayon admission (in submit
 // order, with conservative fallback-runtime estimates), setting slo_class
-// and reservation on each job. Returns the number accepted.
-int ApplyAdmission(const Cluster& cluster, std::vector<Job>& jobs);
+// and reservation on each job. Returns the number accepted. When `rayon`
+// is provided the admission runs against it (so the same agenda can later
+// serve SimConfig::rayon re-admission); otherwise a throwaway agenda is
+// used.
+int ApplyAdmission(const Cluster& cluster, std::vector<Job>& jobs,
+                   RayonAdmission* rayon = nullptr);
 
 struct JobOutcome {
   JobId id = -1;
@@ -72,6 +85,14 @@ struct JobOutcome {
   // Final placement (partition -> node count); empty if never started.
   std::map<PartitionId, int> placement;
   int preemptions = 0;
+  // Churn bookkeeping: failure-kill restarts, total time spent between a
+  // kill and the subsequent restart, reservation re-admissions after a
+  // kill, and whether the reservation was ultimately dropped (downgrade to
+  // unreserved). slo_class above stays the admission-time class.
+  int retries = 0;
+  SimDuration recovery_latency = 0;
+  int readmissions = 0;
+  bool reservation_dropped = false;
 
   bool MetDeadline() const {
     return completed && completion <= deadline;
@@ -88,6 +109,15 @@ struct SimMetrics {
   SimTime makespan = 0;
   int preemptions = 0;
   int failure_kills = 0;  // jobs killed by node failures (then requeued)
+
+  // Graceful-degradation and churn accounting.
+  int fallback_cycles = 0;        // cycles planned by the greedy fallback
+  int validator_violations = 0;   // plans/placements rejected by validation
+  int retries_exhausted = 0;      // jobs dropped after max_retries kills
+  int readmissions = 0;           // reservations successfully re-placed
+  int reservations_dropped = 0;   // reservations invalidated with no re-fit
+  int straggler_slowed_starts = 0; // gangs started on >= 1 fail-slow node
+  SampleStats recovery_latency;   // kill -> restart gap per retry (s)
 
   // §6.3 success metrics. Fractions in [0,1]; 0 when the class is empty.
   double AcceptedSloAttainment() const;

@@ -23,6 +23,14 @@ const char* ToString(TraceEventKind kind) {
       return "node-fail";
     case TraceEventKind::kNodeRecover:
       return "node-recover";
+    case TraceEventKind::kNodeSlow:
+      return "node-slow";
+    case TraceEventKind::kNodeSlowRecover:
+      return "node-slow-recover";
+    case TraceEventKind::kFallback:
+      return "fallback";
+    case TraceEventKind::kPlanReject:
+      return "plan-reject";
     case TraceEventKind::kCycle:
       return "cycle";
   }

@@ -24,6 +24,10 @@ enum class TraceEventKind {
   kFailureKill,  // job killed because a node under it died
   kNodeFail,
   kNodeRecover,
+  kNodeSlow,         // fail-slow (straggler) episode begins; value = slowdown
+  kNodeSlowRecover,  // fail-slow episode ends
+  kFallback,         // cycle planned by the greedy fallback, not the MILP
+  kPlanReject,       // placement rejected by ledger validation, not committed
   kCycle,
 };
 

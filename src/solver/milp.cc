@@ -126,6 +126,18 @@ MilpResult MilpSolver::Solve(std::span<const double> warm_start) {
       std::max(1, options_.num_threads > 0 ? options_.num_threads
                                            : ThreadPool::HardwareThreads());
 
+  // A non-positive budget means "no solve attempt": report no-incumbent
+  // explicitly so callers exercise their degradation path instead of
+  // misreading a trivially empty plan as a decision.
+  if (options_.time_limit_seconds <= 0.0) {
+    MilpResult result;
+    result.status = MilpStatus::kNoSolution;
+    result.solve_status = SolveStatus::kNoIncumbent;
+    result.threads_used = num_workers;
+    result.solve_seconds = elapsed();
+    return result;
+  }
+
   if (options_.enable_presolve) {
     Presolver presolver(model_);
     if (presolver.infeasible()) {
@@ -184,6 +196,7 @@ MilpResult MilpSolver::Solve(std::span<const double> warm_start) {
   uint64_t next_seq = 0;
   bool done = false;
   bool limits_hit = false;
+  bool stall_hit = false;  // limits_hit specifically via stall_node_limit
   bool found_unbounded = false;
   double final_bound = 0.0;  // last global bound observed at a pop
 
@@ -193,6 +206,10 @@ MilpResult MilpSolver::Solve(std::span<const double> warm_start) {
   std::vector<double> incumbent;
   // Mirror of incumbent_obj; -kInfinity means "no incumbent yet".
   std::atomic<double> incumbent_atomic{-kInfinity};
+  // True once a warm start or the search itself supplied the incumbent;
+  // stays false while only the trivial all-zero fallback is held, which is
+  // what distinguishes kTimeLimit/kStall from kNoIncumbent.
+  std::atomic<bool> real_incumbent{false};
 
   std::atomic<int> nodes{0};
   std::atomic<long> lp_iterations{0};
@@ -204,7 +221,8 @@ MilpResult MilpSolver::Solve(std::span<const double> warm_start) {
     result.solve_seconds = elapsed();
   };
 
-  auto offer_incumbent = [&](std::span<const double> values) {
+  auto offer_incumbent = [&](std::span<const double> values,
+                             bool from_search = true) {
     std::vector<double> rounded = RoundedCopy(model_, values);
     if (!model_.IsFeasible(rounded, 1e-5)) {
       return false;
@@ -219,6 +237,9 @@ MilpResult MilpSolver::Solve(std::span<const double> warm_start) {
       incumbent_obj = obj;
       have_incumbent = true;
       incumbent_atomic.store(obj, std::memory_order_release);
+      if (from_search) {
+        real_incumbent.store(true, std::memory_order_relaxed);
+      }
     }
     return true;
   };
@@ -235,7 +256,7 @@ MilpResult MilpSolver::Solve(std::span<const double> warm_start) {
     for (int v = 0; v < n; ++v) {
       zero[v] = std::clamp(0.0, root_lower[v], root_upper[v]);
     }
-    offer_incumbent(zero);
+    offer_incumbent(zero, /*from_search=*/false);
   }
 
   auto gap_satisfied = [&](double bound) {
@@ -312,6 +333,10 @@ MilpResult MilpSolver::Solve(std::span<const double> warm_start) {
       result.objective = incumbent_obj;
       result.values = incumbent;
       result.best_bound = incumbent_obj;
+      // The incumbent (warm start or zero plan) is all the search will get.
+      result.solve_status = real_incumbent.load(std::memory_order_relaxed)
+                                ? SolveStatus::kOptimal
+                                : SolveStatus::kNoIncumbent;
     }
     finalize_counts();
     return result;
@@ -333,6 +358,7 @@ MilpResult MilpSolver::Solve(std::span<const double> warm_start) {
   if (root_branch_var < 0) {
     offer_incumbent(root.values);
     result.status = MilpStatus::kOptimal;
+    result.solve_status = SolveStatus::kOptimal;
     result.objective = incumbent_obj;
     result.values = incumbent;
     result.best_bound = root.objective;
@@ -389,6 +415,7 @@ MilpResult MilpSolver::Solve(std::span<const double> warm_start) {
           nodes_since_improvement.load(std::memory_order_relaxed) >=
               options_.stall_node_limit) {
         limits_hit = true;
+        stall_hit = true;
         done = true;
         queue_cv.notify_all();
         break;
@@ -526,10 +553,20 @@ MilpResult MilpSolver::Solve(std::span<const double> warm_start) {
   result.values = incumbent;
   if (open.empty() || global_bound <= incumbent_obj + options_.abs_gap) {
     result.status = MilpStatus::kOptimal;
+    result.solve_status = SolveStatus::kOptimal;
   } else if (gap_satisfied(global_bound)) {
     result.status = MilpStatus::kGapLimit;
+    result.solve_status = SolveStatus::kGapMet;
   } else {
     result.status = MilpStatus::kFeasible;
+    // A limits-hit search that never improved on the trivial zero plan is
+    // operationally a failed solve, however "feasible" it looks.
+    if (!real_incumbent.load(std::memory_order_relaxed)) {
+      result.solve_status = SolveStatus::kNoIncumbent;
+    } else {
+      result.solve_status =
+          stall_hit ? SolveStatus::kStall : SolveStatus::kTimeLimit;
+    }
   }
   return result;
 }

@@ -20,6 +20,7 @@
 
 #include "src/solver/model.h"
 #include "src/solver/simplex.h"
+#include "src/solver/solve_status.h"
 
 namespace tetrisched {
 
@@ -59,6 +60,10 @@ struct MilpOptions {
 
 struct MilpResult {
   MilpStatus status = MilpStatus::kNoSolution;
+  // Operational classification of how the solve ended (solve_status.h).
+  // kNoIncumbent whenever `values` holds nothing better than the trivial
+  // all-zero fallback: the caller should not treat it as a schedule.
+  SolveStatus solve_status = SolveStatus::kNoIncumbent;
   double objective = 0.0;        // incumbent objective (valid unless kNoSolution)
   std::vector<double> values;    // incumbent assignment
   double best_bound = 0.0;       // proven upper bound on the optimum
