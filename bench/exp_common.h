@@ -6,6 +6,15 @@
 // reports. Scales are reduced (RC256 -> 32 simulated nodes, RC80 -> 16) so a
 // full sweep finishes on a laptop; the paper's claims are relative, so the
 // comparison shape is what matters (see EXPERIMENTS.md).
+//
+// Observability: every bench runs its simulations through Simulator::Run,
+// which picks up export paths from the environment (DESIGN.md §10):
+//   TETRISCHED_METRICS_JSON=m.json   per-phase histograms + counters (JSON)
+//   TETRISCHED_METRICS_PROM=m.prom   same registry, Prometheus text format
+//   TETRISCHED_TRACE_JSON=t.json     Chrome trace of cycle/solver spans
+//   TETRISCHED_LOG_LEVEL=debug       stderr log threshold (logging.h)
+// Setting any of the first three also enables clock-reading instrumentation
+// for the run; results are unchanged (instrumentation never steers search).
 
 #ifndef TETRISCHED_BENCH_EXP_COMMON_H_
 #define TETRISCHED_BENCH_EXP_COMMON_H_

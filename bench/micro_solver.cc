@@ -11,6 +11,8 @@
 
 #include "bench/bench_json.h"
 #include "src/cluster/availability.h"
+#include "src/common/metrics.h"
+#include "src/common/span.h"
 #include "src/compiler/compiler.h"
 #include "src/core/strl_gen.h"
 #include "src/solver/milp.h"
@@ -163,6 +165,66 @@ void BM_MilpSolveThreads(benchmark::State& state) {
 }
 BENCHMARK(BM_MilpSolveThreads)->Arg(1)->Arg(2)->Arg(4)
     ->Unit(benchmark::kMillisecond);
+
+void BM_MilpSolveObservabilityEnabled(benchmark::State& state) {
+  // Same solve as BM_MilpSolve(96) but with clock-reading instrumentation
+  // on; compare against BM_MilpSolve/96 to see the enabled-path cost on a
+  // real workload (per-LP timing + spans).
+  Cluster cluster = MakeUniformCluster(4, 4, 2);
+  StrlGenerator gen(cluster, {.plan_ahead = 96, .quantum = 8});
+  std::vector<Job> jobs = MakeQueue(8);
+  OptionRegistry registry;
+  StrlExpr root = BuildAggregate(cluster, gen, jobs, &registry);
+  TimeGrid grid{.start = 0, .quantum = 8, .num_slices = 12};
+  AvailabilityGrid avail(cluster, grid);
+  CompiledStrl compiled = StrlCompiler(avail).Compile(root);
+  MilpOptions options;
+  options.time_limit_seconds = 2.0;
+  const bool prev = ObservabilityEnabled();
+  SetObservabilityEnabled(true);
+  for (auto _ : state) {
+    MilpResult result = MilpSolver(compiled.model(), options).Solve();
+    benchmark::DoNotOptimize(result.objective);
+    // Keep the span buffer from growing without bound across iterations.
+    SpanCollector::Global().Clear();
+  }
+  SetObservabilityEnabled(prev);
+}
+BENCHMARK(BM_MilpSolveObservabilityEnabled)->Unit(benchmark::kMillisecond);
+
+void BM_ScopedSpanDisabled(benchmark::State& state) {
+  // The acceptance bar for "zero-overhead when disabled": a disabled
+  // TETRI_SPAN is one relaxed atomic load, no clock read.
+  const bool prev = ObservabilityEnabled();
+  SetObservabilityEnabled(false);
+  for (auto _ : state) {
+    TETRI_SPAN("bench.disabled");
+    benchmark::ClobberMemory();
+  }
+  SetObservabilityEnabled(prev);
+}
+BENCHMARK(BM_ScopedSpanDisabled);
+
+void BM_ScopedSpanEnabled(benchmark::State& state) {
+  const bool prev = ObservabilityEnabled();
+  SetObservabilityEnabled(true);
+  int since_clear = 0;
+  for (auto _ : state) {
+    {
+      TETRI_SPAN("bench.enabled");
+      benchmark::ClobberMemory();
+    }
+    if (++since_clear >= 8192) {
+      state.PauseTiming();
+      SpanCollector::Global().Clear();
+      since_clear = 0;
+      state.ResumeTiming();
+    }
+  }
+  SetObservabilityEnabled(prev);
+  SpanCollector::Global().Clear();
+}
+BENCHMARK(BM_ScopedSpanEnabled);
 
 // The machine-readable solver record (satisfies a fixed op-name schema so the
 // perf trajectory can be tracked across commits): LP relaxation plus full

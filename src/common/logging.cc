@@ -1,13 +1,21 @@
 #include "src/common/logging.h"
 
 #include <atomic>
+#include <cctype>
 #include <cstdio>
+#include <cstdlib>
 #include <cstring>
+#include <string>
 
 namespace tetrisched {
 namespace {
 
-std::atomic<int> g_threshold{static_cast<int>(LogLevel::kWarning)};
+int InitialThreshold() {
+  return static_cast<int>(
+      ParseLogLevel(std::getenv("TETRISCHED_LOG_LEVEL"), LogLevel::kWarning));
+}
+
+std::atomic<int> g_threshold{InitialThreshold()};
 
 const char* LevelName(LogLevel level) {
   switch (level) {
@@ -29,6 +37,29 @@ const char* Basename(const char* path) {
 }
 
 }  // namespace
+
+LogLevel ParseLogLevel(const char* name, LogLevel fallback) {
+  if (name == nullptr || *name == '\0') {
+    return fallback;
+  }
+  std::string lowered(name);
+  for (char& c : lowered) {
+    c = static_cast<char>(std::tolower(static_cast<unsigned char>(c)));
+  }
+  if (lowered == "debug") {
+    return LogLevel::kDebug;
+  }
+  if (lowered == "info") {
+    return LogLevel::kInfo;
+  }
+  if (lowered == "warning" || lowered == "warn") {
+    return LogLevel::kWarning;
+  }
+  if (lowered == "error") {
+    return LogLevel::kError;
+  }
+  return fallback;
+}
 
 void SetLogLevel(LogLevel level) {
   g_threshold.store(static_cast<int>(level), std::memory_order_relaxed);

@@ -20,9 +20,17 @@ enum class LogLevel : int {
   kError = 3,
 };
 
-// Global threshold; messages below it are discarded.
+// Global threshold; messages below it are discarded. The initial threshold
+// comes from the TETRISCHED_LOG_LEVEL environment variable when set
+// ("debug" | "info" | "warning"/"warn" | "error", case-insensitive), so CI
+// and benches can raise verbosity without recompiling; it defaults to
+// kWarning otherwise.
 void SetLogLevel(LogLevel level);
 LogLevel GetLogLevel();
+
+// Parses a level name as accepted by TETRISCHED_LOG_LEVEL; returns
+// `fallback` for null/unrecognized input.
+LogLevel ParseLogLevel(const char* name, LogLevel fallback);
 
 namespace log_internal {
 

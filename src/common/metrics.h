@@ -1,0 +1,154 @@
+// Cycle-level observability: a process-wide registry of named instruments.
+//
+// Three instrument kinds, all safe for concurrent use from branch-and-bound
+// workers (lock-free atomics on the update path):
+//   * Counter   — monotonically increasing integer (events, nodes, waits),
+//   * Gauge     — last-write-wins double (queue depth, config knobs),
+//   * Histogram — fixed ascending bucket bounds plus exact count/sum/min/max;
+//                 percentiles are interpolated from the bucket counts and
+//                 clamped to the observed [min, max] range.
+//
+// Instruments are created on first use by name and live for the lifetime of
+// the process (pointers returned by the registry are stable; Reset() zeroes
+// values without invalidating them), so hot paths can cache the pointer once
+// and update with a single relaxed atomic op. Exposition formats:
+//   * ToPrometheusText() — Prometheus 0.0.4 text format,
+//   * ToJson()           — one JSON object with p50/p95/p99/max per histogram.
+//
+// The registry itself is always on (updates are a few nanoseconds). Anything
+// that must *read a clock* on a hot path — RAII spans (span.h) and the
+// solver's per-LP-call timing — is additionally gated by the global
+// observability flag below, which keeps disabled-instrumentation overhead
+// within noise (see bench/micro_solver.cc).
+
+#ifndef TETRISCHED_COMMON_METRICS_H_
+#define TETRISCHED_COMMON_METRICS_H_
+
+#include <atomic>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+namespace tetrisched {
+
+namespace metrics_internal {
+extern std::atomic<bool> g_observability_enabled;
+}  // namespace metrics_internal
+
+// Global switch for clock-reading instrumentation (spans, per-LP timing).
+// Enabled automatically by Simulator::Run when an export path is configured.
+inline bool ObservabilityEnabled() {
+  return metrics_internal::g_observability_enabled.load(
+      std::memory_order_relaxed);
+}
+void SetObservabilityEnabled(bool enabled);
+
+class Counter {
+ public:
+  void Increment(int64_t delta = 1) {
+    value_.fetch_add(delta, std::memory_order_relaxed);
+  }
+  int64_t value() const { return value_.load(std::memory_order_relaxed); }
+  void Reset() { value_.store(0, std::memory_order_relaxed); }
+
+ private:
+  std::atomic<int64_t> value_{0};
+};
+
+class Gauge {
+ public:
+  void Set(double value) { value_.store(value, std::memory_order_relaxed); }
+  double value() const { return value_.load(std::memory_order_relaxed); }
+  void Reset() { value_.store(0.0, std::memory_order_relaxed); }
+
+ private:
+  std::atomic<double> value_{0.0};
+};
+
+// Read-only copy of one histogram, decoupled from subsequent updates.
+struct HistogramSnapshot {
+  std::string name;
+  std::vector<double> bounds;    // finite ascending upper bounds
+  std::vector<int64_t> buckets;  // bounds.size() + 1 (last = overflow)
+  int64_t count = 0;
+  double sum = 0.0;
+  double min = 0.0;  // observed extrema (0 when count == 0)
+  double max = 0.0;
+
+  double Mean() const { return count > 0 ? sum / count : 0.0; }
+  // p in [0, 100]; interpolated within the containing bucket and clamped to
+  // the observed [min, max].
+  double Percentile(double p) const;
+};
+
+class Histogram {
+ public:
+  explicit Histogram(std::vector<double> bounds);
+
+  void Observe(double x);
+
+  int64_t count() const { return count_.load(std::memory_order_relaxed); }
+  double sum() const { return sum_.load(std::memory_order_relaxed); }
+  HistogramSnapshot Snapshot(const std::string& name = "") const;
+  double Percentile(double p) const { return Snapshot().Percentile(p); }
+  void Reset();
+
+ private:
+  std::vector<double> bounds_;
+  std::vector<std::atomic<int64_t>> buckets_;  // bounds_.size() + 1
+  std::atomic<int64_t> count_{0};
+  std::atomic<double> sum_{0.0};
+  std::atomic<double> min_{0.0};
+  std::atomic<double> max_{0.0};
+};
+
+// Default bucket bounds for millisecond latencies: 10 us .. 10 s, roughly
+// 1-2-5 per decade. Wide enough for STRL-generation micro-phases and whole
+// churn-cycle solves alike.
+const std::vector<double>& DefaultLatencyBucketsMs();
+
+struct MetricsSnapshot {
+  std::map<std::string, int64_t> counters;
+  std::map<std::string, double> gauges;
+  std::vector<HistogramSnapshot> histograms;
+};
+
+class MetricsRegistry {
+ public:
+  MetricsRegistry() = default;
+  MetricsRegistry(const MetricsRegistry&) = delete;
+  MetricsRegistry& operator=(const MetricsRegistry&) = delete;
+
+  // Find-or-create by name. Returned pointers stay valid for the registry's
+  // lifetime; a histogram's bucket bounds are fixed by its first creation.
+  Counter* GetCounter(const std::string& name);
+  Gauge* GetGauge(const std::string& name);
+  Histogram* GetHistogram(const std::string& name,
+                          const std::vector<double>& bounds =
+                              DefaultLatencyBucketsMs());
+
+  // Point-in-time copy: later instrument updates do not alter the snapshot.
+  MetricsSnapshot Snapshot() const;
+
+  std::string ToPrometheusText() const;
+  std::string ToJson() const;
+
+  // Zeroes every instrument's value. Pointers handed out remain valid.
+  void Reset();
+
+ private:
+  mutable std::mutex mu_;  // guards the maps, never the instrument values
+  std::map<std::string, std::unique_ptr<Counter>> counters_;
+  std::map<std::string, std::unique_ptr<Gauge>> gauges_;
+  std::map<std::string, std::unique_ptr<Histogram>> histograms_;
+};
+
+// The process-wide registry all library instrumentation reports into.
+MetricsRegistry& GlobalMetrics();
+
+}  // namespace tetrisched
+
+#endif  // TETRISCHED_COMMON_METRICS_H_

@@ -1,0 +1,85 @@
+#include "src/common/span.h"
+
+#include <atomic>
+#include <chrono>
+
+namespace tetrisched {
+namespace span_internal {
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+Clock::time_point ProcessEpoch() {
+  static const Clock::time_point epoch = Clock::now();
+  return epoch;
+}
+
+}  // namespace
+
+uint64_t NowMicros() {
+  return static_cast<uint64_t>(
+      std::chrono::duration_cast<std::chrono::microseconds>(Clock::now() -
+                                                            ProcessEpoch())
+          .count());
+}
+
+uint32_t CurrentThreadId() {
+  static std::atomic<uint32_t> next_id{0};
+  thread_local uint32_t id = next_id.fetch_add(1, std::memory_order_relaxed);
+  return id;
+}
+
+int32_t& CurrentDepth() {
+  thread_local int32_t depth = 0;
+  return depth;
+}
+
+}  // namespace span_internal
+
+SpanCollector& SpanCollector::Global() {
+  static SpanCollector* collector = new SpanCollector();
+  return *collector;
+}
+
+void SpanCollector::Record(const SpanRecord& span) {
+  std::lock_guard<std::mutex> lock(mu_);
+  spans_.push_back(span);
+}
+
+std::vector<SpanRecord> SpanCollector::Snapshot() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return spans_;
+}
+
+size_t SpanCollector::size() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return spans_.size();
+}
+
+void SpanCollector::Clear() {
+  std::lock_guard<std::mutex> lock(mu_);
+  spans_.clear();
+}
+
+std::string SpanCollector::ToChromeTraceJson() const {
+  std::vector<SpanRecord> spans = Snapshot();
+  std::string out = "{\"traceEvents\": [";
+  for (size_t i = 0; i < spans.size(); ++i) {
+    const SpanRecord& span = spans[i];
+    if (i > 0) {
+      out += ",";
+    }
+    out += "\n  {\"name\": \"";
+    out += span.name;
+    out += "\", \"cat\": \"tetrisched\", \"ph\": \"X\", \"ts\": " +
+           std::to_string(span.start_us) +
+           ", \"dur\": " + std::to_string(span.duration_us) +
+           ", \"pid\": 1, \"tid\": " + std::to_string(span.thread) +
+           ", \"args\": {\"depth\": " + std::to_string(span.depth) + "}}";
+  }
+  out += "\n], \"displayTimeUnit\": \"ms\"}\n";
+  return out;
+}
+
+}  // namespace tetrisched

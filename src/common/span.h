@@ -1,0 +1,111 @@
+// RAII scoped timers forming a thread-aware span tree, exportable as Chrome
+// trace-event JSON (load via chrome://tracing or https://ui.perfetto.dev).
+//
+// Usage on a code path:
+//
+//   void TetriScheduler::OnCycle(...) {
+//     TETRI_SPAN("scheduler.cycle");          // whole-function span
+//     { TETRI_SPAN("scheduler.strl_gen"); ... }  // nested child span
+//   }
+//
+// Collection is off by default. A disabled ScopedSpan costs one relaxed
+// atomic load and nothing else — no clock read, no allocation — so
+// instrumentation can stay compiled into hot paths (the overhead is verified
+// by bench/micro_solver's span benchmarks). When ObservabilityEnabled() is
+// set (metrics.h), each span records its name, wall-clock interval, thread,
+// and nesting depth into the global SpanCollector; nesting is reconstructed
+// per thread from start/duration containment, which is exactly how Chrome's
+// trace viewer stacks "X" (complete) events.
+//
+// Span names must be string literals (the collector stores the pointer).
+
+#ifndef TETRISCHED_COMMON_SPAN_H_
+#define TETRISCHED_COMMON_SPAN_H_
+
+#include <cstdint>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "src/common/metrics.h"
+
+namespace tetrisched {
+
+struct SpanRecord {
+  const char* name = "";  // string literal supplied to TETRI_SPAN
+  uint64_t start_us = 0;  // microseconds since the process span epoch
+  uint64_t duration_us = 0;
+  uint32_t thread = 0;  // small dense id, stable per OS thread
+  int32_t depth = 0;    // nesting depth within the recording thread
+};
+
+namespace span_internal {
+
+// Microseconds since a process-wide steady_clock epoch.
+uint64_t NowMicros();
+// Dense per-thread id (0, 1, 2, ... in first-use order).
+uint32_t CurrentThreadId();
+// Mutable nesting depth of the calling thread.
+int32_t& CurrentDepth();
+
+}  // namespace span_internal
+
+// Thread-safe buffer of finished spans. Recording appends under a mutex;
+// spans are per-cycle-phase granularity, so contention is negligible.
+class SpanCollector {
+ public:
+  static SpanCollector& Global();
+
+  void Record(const SpanRecord& span);
+
+  std::vector<SpanRecord> Snapshot() const;
+  size_t size() const;
+  void Clear();
+
+  // Chrome trace-event JSON: one "X" (complete) event per span, with ts/dur
+  // in microseconds and the recording thread as tid.
+  std::string ToChromeTraceJson() const;
+
+ private:
+  mutable std::mutex mu_;
+  std::vector<SpanRecord> spans_;
+};
+
+class ScopedSpan {
+ public:
+  explicit ScopedSpan(const char* name) {
+    if (!ObservabilityEnabled()) {
+      return;  // zero-overhead disabled path: one relaxed load, no clock
+    }
+    name_ = name;
+    depth_ = span_internal::CurrentDepth()++;
+    start_us_ = span_internal::NowMicros();
+  }
+
+  ~ScopedSpan() {
+    if (name_ == nullptr) {
+      return;
+    }
+    --span_internal::CurrentDepth();
+    SpanCollector::Global().Record(
+        {name_, start_us_, span_internal::NowMicros() - start_us_,
+         span_internal::CurrentThreadId(), depth_});
+  }
+
+  ScopedSpan(const ScopedSpan&) = delete;
+  ScopedSpan& operator=(const ScopedSpan&) = delete;
+
+ private:
+  const char* name_ = nullptr;
+  uint64_t start_us_ = 0;
+  int32_t depth_ = 0;
+};
+
+#define TETRI_SPAN_CONCAT_INNER(a, b) a##b
+#define TETRI_SPAN_CONCAT(a, b) TETRI_SPAN_CONCAT_INNER(a, b)
+#define TETRI_SPAN(name) \
+  ::tetrisched::ScopedSpan TETRI_SPAN_CONCAT(tetri_span_, __LINE__)(name)
+
+}  // namespace tetrisched
+
+#endif  // TETRISCHED_COMMON_SPAN_H_

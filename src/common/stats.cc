@@ -10,6 +10,16 @@ namespace tetrisched {
 void SampleStats::Add(double x) {
   samples_.push_back(x);
   sum_ += x;
+  sorted_valid_ = false;
+}
+
+const std::vector<double>& SampleStats::EnsureSorted() const {
+  if (!sorted_valid_) {
+    sorted_ = samples_;
+    std::sort(sorted_.begin(), sorted_.end());
+    sorted_valid_ = true;
+  }
+  return sorted_;
 }
 
 double SampleStats::Mean() const {
@@ -31,7 +41,7 @@ double SampleStats::Percentile(double p) const {
   if (samples_.empty()) {
     return 0.0;
   }
-  std::vector<double> sorted = Sorted();
+  const std::vector<double>& sorted = EnsureSorted();
   if (sorted.size() == 1) {
     return sorted[0];
   }
@@ -42,11 +52,7 @@ double SampleStats::Percentile(double p) const {
   return sorted[lo] * (1.0 - frac) + sorted[hi] * frac;
 }
 
-std::vector<double> SampleStats::Sorted() const {
-  std::vector<double> sorted = samples_;
-  std::sort(sorted.begin(), sorted.end());
-  return sorted;
-}
+std::vector<double> SampleStats::Sorted() const { return EnsureSorted(); }
 
 std::vector<std::pair<double, double>> SampleStats::Cdf(
     size_t max_points) const {
@@ -54,7 +60,7 @@ std::vector<std::pair<double, double>> SampleStats::Cdf(
   if (samples_.empty() || max_points == 0) {
     return points;
   }
-  std::vector<double> sorted = Sorted();
+  const std::vector<double>& sorted = EnsureSorted();
   size_t n = sorted.size();
   size_t step = std::max<size_t>(1, n / max_points);
   for (size_t i = 0; i < n; i += step) {

@@ -10,7 +10,9 @@
 namespace tetrisched {
 
 // Accumulates a stream of samples; supports mean/min/max online and
-// percentiles by sorting a retained copy on demand.
+// percentiles from a retained copy. The sorted copy is cached and only
+// rebuilt after new samples arrive, so a flush that queries many quantiles
+// (p50/p95/p99/Cdf) pays the O(n log n) sort once, not per query.
 class SampleStats {
  public:
   void Add(double x);
@@ -33,8 +35,13 @@ class SampleStats {
   std::vector<std::pair<double, double>> Cdf(size_t max_points = 100) const;
 
  private:
+  // Sorts into sorted_ if stale and returns it.
+  const std::vector<double>& EnsureSorted() const;
+
   std::vector<double> samples_;
   double sum_ = 0.0;
+  mutable std::vector<double> sorted_;  // cache; valid iff sorted_valid_
+  mutable bool sorted_valid_ = false;
 };
 
 // Fraction rendered as "NN.N%" (or "n/a" for 0 denominators).

@@ -51,10 +51,19 @@ struct Placement {
   }
 };
 
-// Per-cycle measurements feeding the Fig-12 scalability analysis.
+// Per-cycle measurements feeding the Fig-12 scalability analysis. These are
+// per-decision snapshots of the same timers that feed the process-wide
+// MetricsRegistry phase histograms (tetrisched_phase_*_ms; DESIGN.md §10):
+// the struct keeps the test-facing per-cycle view, the registry keeps the
+// cumulative distributions.
 struct CycleStats {
   double cycle_seconds = 0.0;   // wall-clock for the whole decision
   double solver_seconds = 0.0;  // wall-clock inside the MILP solver
+  // Wall-clock of the other OnCycle phases: STRL expansion, STRL->MILP
+  // compilation, and allocation extraction/commit bookkeeping.
+  double strl_gen_seconds = 0.0;
+  double compile_seconds = 0.0;
+  double commit_seconds = 0.0;
   int milp_vars = 0;
   int milp_constraints = 0;
   int milp_nodes = 0;
@@ -69,6 +78,10 @@ struct CycleStats {
   SolveStatus solve_status = SolveStatus::kOptimal;
   bool used_fallback = false;
   int validator_rejects = 0;
+  // Degradation-ladder rung that produced the committed plan: 0 = MILP,
+  // 1 = greedy first-fit fallback, 2 = skip (nothing committed this cycle).
+  // used_fallback == (ladder_rung > 0); the rung adds *which* rung.
+  int ladder_rung = 0;
 };
 
 class SchedulerPolicy {

@@ -6,6 +6,8 @@
 #include <limits>
 
 #include "src/common/logging.h"
+#include "src/common/metrics.h"
+#include "src/common/span.h"
 #include "src/compiler/compiler.h"
 #include "src/core/plan_check.h"
 
@@ -16,6 +18,42 @@ using Clock = std::chrono::steady_clock;
 
 double Seconds(Clock::time_point from, Clock::time_point to) {
   return std::chrono::duration<double>(to - from).count();
+}
+
+// Registry-backed cycle-phase instruments (DESIGN.md §10). Pointers are
+// resolved once and cached; instrument updates are lock-free.
+struct CycleInstruments {
+  Histogram* cycle_ms;
+  Histogram* availability_ms;
+  Histogram* strl_gen_ms;
+  Histogram* compile_ms;
+  Histogram* solve_ms;
+  Histogram* commit_ms;
+  Histogram* fallback_ms;
+  Counter* cycles;
+  Counter* fallback_cycles;
+  Counter* skipped_cycles;
+  Counter* validator_rejects;
+  Counter* dropped_jobs;
+};
+
+CycleInstruments& Instruments() {
+  MetricsRegistry& registry = GlobalMetrics();
+  static CycleInstruments instruments{
+      registry.GetHistogram("tetrisched_cycle_ms"),
+      registry.GetHistogram("tetrisched_phase_availability_ms"),
+      registry.GetHistogram("tetrisched_phase_strl_gen_ms"),
+      registry.GetHistogram("tetrisched_phase_compile_ms"),
+      registry.GetHistogram("tetrisched_phase_solve_ms"),
+      registry.GetHistogram("tetrisched_phase_commit_ms"),
+      registry.GetHistogram("tetrisched_phase_fallback_ms"),
+      registry.GetCounter("tetrisched_cycles_total"),
+      registry.GetCounter("tetrisched_fallback_cycles_total"),
+      registry.GetCounter("tetrisched_skipped_cycles_total"),
+      registry.GetCounter("tetrisched_validator_rejects_total"),
+      registry.GetCounter("tetrisched_dropped_jobs_total"),
+  };
+  return instruments;
 }
 
 // Priority order for the greedy (NG) policy's three FIFO queues (paper §6.3).
@@ -123,6 +161,7 @@ AvailabilityGrid TetriScheduler::BuildAvailability(
 TetriScheduler::Decision TetriScheduler::OnCycle(
     SimTime now, const std::vector<const Job*>& pending,
     const std::vector<RunningHold>& running) {
+  TETRI_SPAN("scheduler.cycle");
   auto cycle_start = Clock::now();
   Decision decision;
   decision.stats.pending_count = static_cast<int>(pending.size());
@@ -130,8 +169,15 @@ TetriScheduler::Decision TetriScheduler::OnCycle(
     previous_plan_.clear();
     return decision;
   }
+  Instruments().cycles->Increment();
 
-  AvailabilityGrid availability = BuildAvailability(now, running);
+  auto availability_start = Clock::now();
+  AvailabilityGrid availability = [&] {
+    TETRI_SPAN("scheduler.availability");
+    return BuildAvailability(now, running);
+  }();
+  Instruments().availability_ms->Observe(
+      1e3 * Seconds(availability_start, Clock::now()));
   std::set<JobId> planned;
   decision = config_.global ? GlobalCycle(now, pending, availability, &planned)
                             : GreedyCycle(now, pending, availability);
@@ -194,6 +240,8 @@ TetriScheduler::Decision TetriScheduler::OnCycle(
   // Rung 2: the solver ended with nothing better than the trivial empty
   // plan, so replan the cycle with the solver-free first-fit pass.
   auto first_fit = [&]() {
+    TETRI_SPAN("scheduler.fallback");
+    auto fallback_start = Clock::now();
     std::set<JobId> dropped(decision.drop.begin(), decision.drop.end());
     std::vector<const Job*> eligible;
     for (const Job* job : pending) {
@@ -202,12 +250,16 @@ TetriScheduler::Decision TetriScheduler::OnCycle(
       }
     }
     AvailabilityGrid fresh = BuildAvailability(now, running);
-    return FirstFitPass(now, eligible, fresh);
+    std::vector<Placement> placements = FirstFitPass(now, eligible, fresh);
+    Instruments().fallback_ms->Observe(
+        1e3 * Seconds(fallback_start, Clock::now()));
+    return placements;
   };
   if (decision.stats.solve_status == SolveStatus::kNoIncumbent) {
     decision.start_now = first_fit();
     decision.preempt.clear();
     decision.stats.used_fallback = true;
+    decision.stats.ladder_rung = 1;
     previous_plan_.clear();  // nothing from the failed solve is trustworthy
   }
 
@@ -228,7 +280,10 @@ TetriScheduler::Decision TetriScheduler::OnCycle(
     }
     return ValidatePlan(cluster_, pending, surviving, decision.start_now);
   };
-  std::vector<PlanViolation> violations = validate();
+  std::vector<PlanViolation> violations = [&] {
+    TETRI_SPAN("scheduler.validate");
+    return validate();
+  }();
   if (!violations.empty()) {
     for (const PlanViolation& violation : violations) {
       TETRI_LOG(kWarning) << "plan validation failed (job " << violation.job
@@ -240,6 +295,7 @@ TetriScheduler::Decision TetriScheduler::OnCycle(
       decision.preempt.clear();
       decision.start_now = first_fit();
       decision.stats.used_fallback = true;
+      decision.stats.ladder_rung = 1;
       violations = validate();
       decision.stats.validator_rejects += static_cast<int>(violations.size());
     }
@@ -247,6 +303,7 @@ TetriScheduler::Decision TetriScheduler::OnCycle(
       // Rung 3: even the greedy plan is unsafe; schedule nothing and
       // replan next cycle.
       decision.start_now.clear();
+      decision.stats.ladder_rung = 2;
     }
   }
 
@@ -254,6 +311,26 @@ TetriScheduler::Decision TetriScheduler::OnCycle(
   decision.stats.scheduled_count = static_cast<int>(decision.start_now.size());
   decision.stats.dropped_count = static_cast<int>(decision.drop.size());
   decision.stats.cycle_seconds = Seconds(cycle_start, Clock::now());
+
+  CycleInstruments& instruments = Instruments();
+  instruments.cycle_ms->Observe(1e3 * decision.stats.cycle_seconds);
+  instruments.strl_gen_ms->Observe(1e3 * decision.stats.strl_gen_seconds);
+  instruments.compile_ms->Observe(1e3 * decision.stats.compile_seconds);
+  instruments.solve_ms->Observe(1e3 * decision.stats.solver_seconds);
+  instruments.commit_ms->Observe(1e3 * decision.stats.commit_seconds);
+  if (decision.stats.ladder_rung > 0) {
+    instruments.fallback_cycles->Increment();
+  }
+  if (decision.stats.ladder_rung == 2) {
+    instruments.skipped_cycles->Increment();
+  }
+  if (decision.stats.validator_rejects > 0) {
+    instruments.validator_rejects->Increment(decision.stats.validator_rejects);
+  }
+  if (!decision.drop.empty()) {
+    instruments.dropped_jobs->Increment(
+        static_cast<int64_t>(decision.drop.size()));
+  }
   return decision;
 }
 
@@ -265,24 +342,34 @@ TetriScheduler::Decision TetriScheduler::GlobalCycle(
 
   // Expand every pending job; jobs with no positive-value option are dropped
   // (their SLO is no longer reachable).
+  auto strl_gen_start = Clock::now();
   std::vector<StrlExpr> job_exprs;
-  for (const Job* job : pending) {
-    std::optional<StrlExpr> expr =
-        generator_.GenerateJobExpr(*job, now, &registry);
-    if (expr.has_value()) {
-      job_exprs.push_back(std::move(*expr));
-    } else {
-      decision.drop.push_back(job->id);
+  {
+    TETRI_SPAN("scheduler.strl_gen");
+    for (const Job* job : pending) {
+      std::optional<StrlExpr> expr =
+          generator_.GenerateJobExpr(*job, now, &registry);
+      if (expr.has_value()) {
+        job_exprs.push_back(std::move(*expr));
+      } else {
+        decision.drop.push_back(job->id);
+      }
     }
   }
+  decision.stats.strl_gen_seconds = Seconds(strl_gen_start, Clock::now());
   if (job_exprs.empty()) {
     previous_plan_.clear();
     return decision;
   }
 
+  auto compile_start = Clock::now();
   StrlExpr root = job_exprs.size() == 1 ? std::move(job_exprs[0])
                                         : Sum(std::move(job_exprs));
-  CompiledStrl compiled = StrlCompiler(availability).Compile(root);
+  CompiledStrl compiled = [&] {
+    TETRI_SPAN("scheduler.compile");
+    return StrlCompiler(availability).Compile(root);
+  }();
+  decision.stats.compile_seconds = Seconds(compile_start, Clock::now());
   decision.stats.milp_vars = compiled.model().num_vars();
   decision.stats.milp_constraints = compiled.model().num_constraints();
 
@@ -293,7 +380,10 @@ TetriScheduler::Decision TetriScheduler::GlobalCycle(
   }
 
   MilpSolver solver(compiled.model(), config_.milp);
-  MilpResult result = solver.Solve(warm);
+  MilpResult result = [&] {
+    TETRI_SPAN("scheduler.solve");
+    return solver.Solve(warm);
+  }();
   decision.stats.solver_seconds = result.solve_seconds;
   decision.stats.milp_nodes = result.nodes;
   decision.stats.solve_status = result.solve_status;
@@ -307,6 +397,8 @@ TetriScheduler::Decision TetriScheduler::GlobalCycle(
 
   // Commit only the allocations starting now; remember deferred choices as
   // next cycle's warm start.
+  TETRI_SPAN("scheduler.commit");
+  auto commit_start = Clock::now();
   std::map<JobId, Placement> starting;
   for (const StrlAllocation& alloc :
        compiled.ExtractAllocations(result.values)) {
@@ -334,6 +426,7 @@ TetriScheduler::Decision TetriScheduler::GlobalCycle(
   for (auto& [job, placement] : starting) {
     decision.start_now.push_back(std::move(placement));
   }
+  decision.stats.commit_seconds = Seconds(commit_start, Clock::now());
   return decision;
 }
 
@@ -354,18 +447,30 @@ TetriScheduler::Decision TetriScheduler::GreedyCycle(
 
   for (const Job* job : ordered) {
     OptionRegistry registry;
-    std::optional<StrlExpr> expr =
-        generator_.GenerateJobExpr(*job, now, &registry);
+    auto strl_gen_start = Clock::now();
+    std::optional<StrlExpr> expr = [&] {
+      TETRI_SPAN("scheduler.strl_gen");
+      return generator_.GenerateJobExpr(*job, now, &registry);
+    }();
+    decision.stats.strl_gen_seconds += Seconds(strl_gen_start, Clock::now());
     if (!expr.has_value()) {
       decision.drop.push_back(job->id);
       continue;
     }
 
-    CompiledStrl compiled = StrlCompiler(availability).Compile(*expr);
+    auto compile_start = Clock::now();
+    CompiledStrl compiled = [&] {
+      TETRI_SPAN("scheduler.compile");
+      return StrlCompiler(availability).Compile(*expr);
+    }();
+    decision.stats.compile_seconds += Seconds(compile_start, Clock::now());
     decision.stats.milp_vars += compiled.model().num_vars();
     decision.stats.milp_constraints += compiled.model().num_constraints();
     MilpSolver solver(compiled.model(), config_.milp);
-    MilpResult result = solver.Solve();
+    MilpResult result = [&] {
+      TETRI_SPAN("scheduler.solve");
+      return solver.Solve();
+    }();
     decision.stats.solver_seconds += result.solve_seconds;
     decision.stats.milp_nodes += result.nodes;
     decision.stats.solve_status =
@@ -376,6 +481,7 @@ TetriScheduler::Decision TetriScheduler::GreedyCycle(
 
     // Commit the chosen option against this cycle's availability so later
     // (lower-priority) jobs cannot double-book it.
+    auto commit_start = Clock::now();
     Placement placement;
     bool starts_now = false;
     for (const StrlAllocation& alloc :
@@ -404,6 +510,7 @@ TetriScheduler::Decision TetriScheduler::GreedyCycle(
     if (starts_now) {
       decision.start_now.push_back(std::move(placement));
     }
+    decision.stats.commit_seconds += Seconds(commit_start, Clock::now());
   }
   return decision;
 }

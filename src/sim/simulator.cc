@@ -2,6 +2,8 @@
 
 #include <algorithm>
 #include <cmath>
+#include <cstdlib>
+#include <fstream>
 #include <map>
 #include <queue>
 #include <set>
@@ -10,6 +12,8 @@
 #include "src/cluster/ledger.h"
 #include "src/core/estimator.h"
 #include "src/common/logging.h"
+#include "src/common/metrics.h"
+#include "src/common/span.h"
 
 namespace tetrisched {
 
@@ -105,6 +109,54 @@ struct RunningJob {
   SimTime actual_end = 0;    // ground truth
 };
 
+// Registry-backed simulator instruments (DESIGN.md §10): per-cycle pending
+// depth plus churn/outcome event counters. SimMetrics stays the per-run
+// snapshot computed locally; these accumulate process-wide.
+struct SimInstruments {
+  Histogram* pending_depth;  // pending jobs offered to the policy per cycle
+  Counter* cycles;
+  Counter* fallback_cycles;
+  Counter* validator_violations;
+  Counter* failure_kills;
+  Counter* node_failures;
+  Counter* node_recoveries;
+  Counter* stragglers;
+  Counter* preemptions;
+  Counter* retries_exhausted;
+  Counter* jobs_completed;
+  Counter* jobs_dropped;
+};
+
+SimInstruments& Instruments() {
+  MetricsRegistry& registry = GlobalMetrics();
+  static const std::vector<double> kDepthBounds{
+      0, 1, 2, 5, 10, 20, 50, 100, 200, 500, 1000};
+  static SimInstruments instruments{
+      registry.GetHistogram("tetrisched_sim_pending_depth", kDepthBounds),
+      registry.GetCounter("tetrisched_sim_cycles_total"),
+      registry.GetCounter("tetrisched_sim_fallback_cycles_total"),
+      registry.GetCounter("tetrisched_sim_validator_violations_total"),
+      registry.GetCounter("tetrisched_sim_failure_kills_total"),
+      registry.GetCounter("tetrisched_sim_node_failures_total"),
+      registry.GetCounter("tetrisched_sim_node_recoveries_total"),
+      registry.GetCounter("tetrisched_sim_stragglers_total"),
+      registry.GetCounter("tetrisched_sim_preemptions_total"),
+      registry.GetCounter("tetrisched_sim_retries_exhausted_total"),
+      registry.GetCounter("tetrisched_sim_jobs_completed_total"),
+      registry.GetCounter("tetrisched_sim_jobs_dropped_total"),
+  };
+  return instruments;
+}
+
+void WriteFileOrWarn(const std::string& path, const std::string& content) {
+  std::ofstream out(path, std::ios::trunc);
+  if (!out) {
+    TETRI_LOG(kWarning) << "cannot open " << path << " for export";
+    return;
+  }
+  out << content;
+}
+
 }  // namespace
 
 Simulator::Simulator(const Cluster& cluster, SchedulerPolicy& policy,
@@ -115,9 +167,35 @@ Simulator::Simulator(const Cluster& cluster, SchedulerPolicy& policy,
       config_(config) {
   std::stable_sort(jobs_.begin(), jobs_.end(),
                    [](const Job& a, const Job& b) { return a.submit < b.submit; });
+  // Export paths left empty by the caller default from the environment, so
+  // `TETRISCHED_TRACE_JSON=trace.json bench/fig_churn` just works.
+  auto env_default = [](std::string& field, const char* var) {
+    if (field.empty()) {
+      const char* value = std::getenv(var);
+      if (value != nullptr && *value != '\0') {
+        field = value;
+      }
+    }
+  };
+  env_default(config_.metrics_json_path, "TETRISCHED_METRICS_JSON");
+  env_default(config_.metrics_prom_path, "TETRISCHED_METRICS_PROM");
+  env_default(config_.trace_json_path, "TETRISCHED_TRACE_JSON");
 }
 
 SimMetrics Simulator::Run() {
+  SimInstruments& sim_ins = Instruments();
+  const bool exporting = !config_.metrics_json_path.empty() ||
+                         !config_.metrics_prom_path.empty() ||
+                         !config_.trace_json_path.empty();
+  const bool prev_observability = ObservabilityEnabled();
+  if (exporting) {
+    SetObservabilityEnabled(true);
+    if (!config_.trace_json_path.empty()) {
+      // Each run's trace is self-contained: drop spans of earlier runs.
+      SpanCollector::Global().Clear();
+    }
+  }
+
   SimMetrics metrics;
   const int n = static_cast<int>(jobs_.size());
   std::vector<JobState> state(n, JobState::kFuture);
@@ -249,6 +327,7 @@ SimMetrics Simulator::Run() {
       metrics.outcomes[i].completed = true;
       metrics.outcomes[i].completion = time;
       trace({time, TraceEventKind::kComplete, id, -1, released});
+      sim_ins.jobs_completed->Increment();
       --outstanding;
     }
 
@@ -260,6 +339,7 @@ SimMetrics Simulator::Run() {
       recoveries.pop();
       ledger.ReturnSpecific(node);
       trace({now, TraceEventKind::kNodeRecover, -1, node});
+      sim_ins.node_recoveries->Increment();
       failed_nodes.erase(node);
     }
 
@@ -287,6 +367,7 @@ SimMetrics Simulator::Run() {
                  static_cast<int32_t>(nodes.size())});
           running.erase(it);
           ++metrics.failure_kills;
+          sim_ins.failure_kills->Increment();
           JobOutcome& outcome = metrics.outcomes[i];
           ++outcome.retries;
           if (outcome.retries > config_.max_retries) {
@@ -294,6 +375,8 @@ SimMetrics Simulator::Run() {
             state[i] = JobState::kDropped;
             outcome.dropped = true;
             ++metrics.retries_exhausted;
+            sim_ins.retries_exhausted->Increment();
+            sim_ins.jobs_dropped->Increment();
             trace({now, TraceEventKind::kDrop, victim});
             --outstanding;
             break;
@@ -341,6 +424,7 @@ SimMetrics Simulator::Run() {
       }
       ledger.TakeSpecific(failure.node);
       trace({now, TraceEventKind::kNodeFail, -1, failure.node});
+      sim_ins.node_failures->Increment();
       failed_nodes[failure.node] = failure.recover_at;
       if (failure.recover_at != kTimeNever) {
         recoveries.push({failure.recover_at, failure.node});
@@ -371,6 +455,7 @@ SimMetrics Simulator::Run() {
       }
       active_stragglers.push_back(event);
       straggler_ends.push(event.recover_at);
+      sim_ins.stragglers->Increment();
       trace({now, TraceEventKind::kNodeSlow, -1, event.node, 0,
              event.slowdown});
     }
@@ -423,6 +508,8 @@ SimMetrics Simulator::Run() {
     trace({now, TraceEventKind::kCycle, -1, -1,
            static_cast<int32_t>(pending.size()),
            decision.stats.cycle_seconds * 1e3});
+    sim_ins.cycles->Increment();
+    sim_ins.pending_depth->Observe(static_cast<double>(pending.size()));
     metrics.cycle_latency_ms.Add(decision.stats.cycle_seconds * 1e3);
     metrics.solver_latency_ms.Add(decision.stats.solver_seconds * 1e3);
     if (decision.stats.milp_vars > 0) {
@@ -430,10 +517,14 @@ SimMetrics Simulator::Run() {
     }
     if (decision.stats.used_fallback) {
       ++metrics.fallback_cycles;
+      sim_ins.fallback_cycles->Increment();
+      // `count` carries the degradation-ladder rung that produced the plan
+      // (1 = greedy first-fit, 2 = skip), not a placement count.
       trace({now, TraceEventKind::kFallback, -1, -1,
-             static_cast<int32_t>(decision.start_now.size())});
+             decision.stats.ladder_rung});
     }
     metrics.validator_violations += decision.stats.validator_rejects;
+    sim_ins.validator_violations->Increment(decision.stats.validator_rejects);
 
     // Preemptions first (they free capacity the placements may rely on).
     for (JobId id : decision.preempt) {
@@ -450,6 +541,7 @@ SimMetrics Simulator::Run() {
       state[i] = JobState::kPending;  // restarts from scratch
       ++metrics.outcomes[i].preemptions;
       ++metrics.preemptions;
+      sim_ins.preemptions->Increment();
     }
 
     for (JobId id : decision.drop) {
@@ -460,6 +552,7 @@ SimMetrics Simulator::Run() {
       state[it->second] = JobState::kDropped;
       metrics.outcomes[it->second].dropped = true;
       trace({now, TraceEventKind::kDrop, id});
+      sim_ins.jobs_dropped->Increment();
       --outstanding;
     }
 
@@ -469,6 +562,7 @@ SimMetrics Simulator::Run() {
       // the ledger — reject the placement, count it, and keep running.
       auto reject = [&](const char* why) {
         ++metrics.validator_violations;
+        sim_ins.validator_violations->Increment();
         trace({now, TraceEventKind::kPlanReject, placement.job});
         TETRI_LOG(kWarning) << "rejected placement of job " << placement.job
                             << ": " << why;
@@ -556,6 +650,21 @@ SimMetrics Simulator::Run() {
           ? busy_node_seconds / (static_cast<double>(cluster_.num_nodes()) *
                                  static_cast<double>(metrics.makespan))
           : 0.0;
+
+  if (exporting) {
+    if (!config_.metrics_json_path.empty()) {
+      WriteFileOrWarn(config_.metrics_json_path, GlobalMetrics().ToJson());
+    }
+    if (!config_.metrics_prom_path.empty()) {
+      WriteFileOrWarn(config_.metrics_prom_path,
+                      GlobalMetrics().ToPrometheusText());
+    }
+    if (!config_.trace_json_path.empty()) {
+      WriteFileOrWarn(config_.trace_json_path,
+                      SpanCollector::Global().ToChromeTraceJson());
+    }
+    SetObservabilityEnabled(prev_observability);
+  }
   return metrics;
 }
 

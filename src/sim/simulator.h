@@ -15,6 +15,7 @@
 #ifndef TETRISCHED_SIM_SIMULATOR_H_
 #define TETRISCHED_SIM_SIMULATOR_H_
 
+#include <string>
 #include <vector>
 
 #include "src/cluster/cluster.h"
@@ -53,6 +54,22 @@ struct SimConfig {
   bool learn_estimates = false;
   // Optional event recorder (not owned; must outlive Run()).
   SimTrace* trace = nullptr;
+  // Observability exports (DESIGN.md §10). When any path is non-empty,
+  // Run() turns on clock-reading instrumentation (SetObservabilityEnabled)
+  // for its duration and writes the corresponding file on exit:
+  //   * metrics_json_path — registry snapshot as JSON (per-phase histograms
+  //     with p50/p95/p99/max),
+  //   * metrics_prom_path — the same registry in Prometheus text format,
+  //   * trace_json_path   — Chrome trace-event JSON of the span tree
+  //     (open in chrome://tracing or https://ui.perfetto.dev).
+  // Empty fields default from the TETRISCHED_METRICS_JSON /
+  // TETRISCHED_METRICS_PROM / TETRISCHED_TRACE_JSON environment variables
+  // in the Simulator constructor, so every bench and example supports
+  // exports without per-binary wiring. Exports never change scheduling
+  // decisions: instrumentation only reads clocks and bumps atomics.
+  std::string metrics_json_path;
+  std::string metrics_prom_path;
+  std::string trace_json_path;
 };
 
 // True placement quality: does this partition-count assignment satisfy the

@@ -26,7 +26,9 @@ enum class TraceEventKind {
   kNodeRecover,
   kNodeSlow,         // fail-slow (straggler) episode begins; value = slowdown
   kNodeSlowRecover,  // fail-slow episode ends
-  kFallback,         // cycle planned by the greedy fallback, not the MILP
+  // Cycle planned below the MILP on the degradation ladder; count = the
+  // rung that produced the plan (1 = greedy first-fit, 2 = skip).
+  kFallback,
   kPlanReject,       // placement rejected by ledger validation, not committed
   kCycle,
 };
@@ -38,7 +40,8 @@ struct TraceEvent {
   TraceEventKind kind = TraceEventKind::kCycle;
   JobId job = -1;     // job events; -1 otherwise
   int32_t node = -1;  // node failure/recovery events; -1 otherwise
-  int32_t count = 0;  // gang size on start, pending depth on cycle
+  // Gang size on start, pending depth on cycle, ladder rung on fallback.
+  int32_t count = 0;
   double value = 0.0; // cycle latency (ms) on kCycle, 0 otherwise
 };
 

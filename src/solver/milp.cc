@@ -7,11 +7,14 @@
 #include <condition_variable>
 #include <memory>
 #include <mutex>
+#include <optional>
 #include <queue>
 #include <set>
 #include <vector>
 
 #include "src/common/logging.h"
+#include "src/common/metrics.h"
+#include "src/common/span.h"
 #include "src/common/thread_pool.h"
 #include "src/solver/presolve.h"
 
@@ -19,6 +22,43 @@ namespace tetrisched {
 namespace {
 
 using Clock = std::chrono::steady_clock;
+
+// Registry-backed solver instruments (DESIGN.md §10). The phase histograms
+// attribute each solve's wall-clock to presolve / LP pricing / B&B search;
+// the counters aggregate work done by all branch-and-bound workers. Only
+// per-LP-call timing and queue-wait timing read a clock on the hot path, and
+// both are gated by ObservabilityEnabled().
+struct SolverInstruments {
+  Histogram* presolve_ms;
+  Histogram* lp_ms;                 // per-LP-call latency (root + nodes)
+  Histogram* branch_and_bound_ms;   // worker-section wall-clock per solve
+  Histogram* queue_wait_ms;         // per queue_cv wait episode (enabled only)
+  Counter* solves;
+  Counter* nodes;
+  Counter* lp_iterations;
+  Counter* incumbent_improvements;
+  Counter* queue_waits;
+  Counter* presolve_fixed_vars;
+  Counter* presolve_dropped_rows;
+};
+
+SolverInstruments& Instruments() {
+  MetricsRegistry& registry = GlobalMetrics();
+  static SolverInstruments instruments{
+      registry.GetHistogram("tetrisched_phase_presolve_ms"),
+      registry.GetHistogram("tetrisched_phase_lp_ms"),
+      registry.GetHistogram("tetrisched_phase_branch_and_bound_ms"),
+      registry.GetHistogram("tetrisched_solver_queue_wait_ms"),
+      registry.GetCounter("tetrisched_solver_solves_total"),
+      registry.GetCounter("tetrisched_solver_nodes_total"),
+      registry.GetCounter("tetrisched_solver_lp_iterations_total"),
+      registry.GetCounter("tetrisched_solver_incumbent_improvements_total"),
+      registry.GetCounter("tetrisched_solver_queue_waits_total"),
+      registry.GetCounter("tetrisched_solver_presolve_fixed_vars_total"),
+      registry.GetCounter("tetrisched_solver_presolve_dropped_rows_total"),
+  };
+  return instruments;
+}
 
 struct BoundChange {
   VarId var;
@@ -121,6 +161,24 @@ MilpResult MilpSolver::Solve(std::span<const double> warm_start) {
   auto elapsed = [&]() {
     return std::chrono::duration<double>(Clock::now() - start_time).count();
   };
+  SolverInstruments& ins = Instruments();
+  auto millis_since = [](Clock::time_point since) {
+    return std::chrono::duration<double, std::milli>(Clock::now() - since)
+        .count();
+  };
+  // Per-LP-call latency only reads the clock when observability is on; the
+  // iteration counter flush happens at the call sites as before.
+  auto timed_lp = [&](LpSolver& lp, std::span<const double> lo,
+                      std::span<const double> hi,
+                      const LpBasis* warm) -> LpResult {
+    if (!ObservabilityEnabled()) {
+      return lp.Solve(lo, hi, warm);
+    }
+    const auto lp_start = Clock::now();
+    LpResult lp_result = lp.Solve(lo, hi, warm);
+    ins.lp_ms->Observe(millis_since(lp_start));
+    return lp_result;
+  };
 
   const int num_workers =
       std::max(1, options_.num_threads > 0 ? options_.num_threads
@@ -139,8 +197,18 @@ MilpResult MilpSolver::Solve(std::span<const double> warm_start) {
   }
 
   if (options_.enable_presolve) {
+    const auto presolve_start = Clock::now();
+    // The presolve span pauses around the recursive solve of the reduced
+    // model (which reports its own setup/root/branch_and_bound spans as
+    // siblings) so trace durations stay additive, then resumes for the
+    // solution-restore tail.
+    std::optional<ScopedSpan> presolve_span;
+    presolve_span.emplace("solver.presolve");
     Presolver presolver(model_);
+    ins.presolve_fixed_vars->Increment(presolver.num_fixed_vars());
+    ins.presolve_dropped_rows->Increment(presolver.num_dropped_rows());
     if (presolver.infeasible()) {
+      ins.presolve_ms->Observe(millis_since(presolve_start));
       MilpResult result;
       result.status = MilpStatus::kInfeasible;
       result.threads_used = num_workers;
@@ -157,7 +225,12 @@ MilpResult MilpSolver::Solve(std::span<const double> warm_start) {
       MilpOptions inner_options = options_;
       inner_options.enable_presolve = false;
       MilpSolver inner(presolver.reduced(), inner_options);
+      // Reduction work ends here; the inner solve reports its own lp /
+      // branch_and_bound phases against the reduced model.
+      ins.presolve_ms->Observe(millis_since(presolve_start));
+      presolve_span.reset();
       MilpResult result = inner.Solve(projected_warm);
+      presolve_span.emplace("solver.presolve");
       if (result.HasSolution()) {
         result.values = presolver.RestoreSolution(result.values);
         result.objective = model_.ObjectiveValue(result.values);
@@ -166,11 +239,18 @@ MilpResult MilpSolver::Solve(std::span<const double> warm_start) {
       result.solve_seconds = elapsed();
       return result;
     }
+    ins.presolve_ms->Observe(millis_since(presolve_start));
   }
 
   MilpResult result;
   result.threads_used = num_workers;
   const int n = model_.num_vars();
+
+  // Covers tableau construction and incumbent seeding (the work between
+  // presolve and the root relaxation); closed just before the root LP so
+  // solver child spans tile scheduler.solve with no untracked gap.
+  std::optional<ScopedSpan> setup_span;
+  setup_span.emplace("solver.setup");
 
   LpSolver root_lp(model_, options_.lp);
 
@@ -219,6 +299,12 @@ MilpResult MilpSolver::Solve(std::span<const double> warm_start) {
     result.nodes = nodes.load(std::memory_order_relaxed);
     result.lp_iterations = lp_iterations.load(std::memory_order_relaxed);
     result.solve_seconds = elapsed();
+    // Flush this solve's totals into the process-wide registry. The
+    // presolve-recursion path never reaches here in the outer frame, so the
+    // inner solve's flush is the only one and nothing double-counts.
+    ins.solves->Increment();
+    ins.nodes->Increment(result.nodes);
+    ins.lp_iterations->Increment(result.lp_iterations);
   };
 
   auto offer_incumbent = [&](std::span<const double> values,
@@ -232,6 +318,7 @@ MilpResult MilpSolver::Solve(std::span<const double> warm_start) {
     if (!have_incumbent || obj > incumbent_obj) {
       // Any strict improvement resets the stall counter, including the very
       // first incumbent (the zero-clamped fallback or a warm start).
+      ins.incumbent_improvements->Increment();
       nodes_since_improvement.store(0, std::memory_order_relaxed);
       incumbent = std::move(rounded);
       incumbent_obj = obj;
@@ -299,12 +386,12 @@ MilpResult MilpSolver::Solve(std::span<const double> warm_start) {
       double saved_upper = dive_upper[v];
       dive_lower[v] = near;
       dive_upper[v] = near;
-      LpResult next = lp.Solve(dive_lower, dive_upper, warm);
+      LpResult next = timed_lp(lp, dive_lower, dive_upper, warm);
       lp_iterations.fetch_add(next.iterations, std::memory_order_relaxed);
       if (next.status != LpStatus::kOptimal && far != near) {
         dive_lower[v] = far;
         dive_upper[v] = far;
-        next = lp.Solve(dive_lower, dive_upper, warm);
+        next = timed_lp(lp, dive_lower, dive_upper, warm);
         lp_iterations.fetch_add(next.iterations, std::memory_order_relaxed);
       }
       if (next.status != LpStatus::kOptimal) {
@@ -322,8 +409,19 @@ MilpResult MilpSolver::Solve(std::span<const double> warm_start) {
     }
   };
 
+  setup_span.reset();
+
+  // The whole root phase (relaxation, integrality check, dive); root_lp and
+  // root_dive record as children. Closed before branch and bound; on the
+  // early-return paths the destructor closes it at function exit.
+  std::optional<ScopedSpan> root_span;
+  root_span.emplace("solver.root");
+
   // Root relaxation (always on the calling thread).
-  LpResult root = root_lp.Solve(root_lower, root_upper, nullptr);
+  LpResult root = [&] {
+    TETRI_SPAN("solver.root_lp");
+    return timed_lp(root_lp, root_lower, root_upper, nullptr);
+  }();
   lp_iterations.fetch_add(root.iterations, std::memory_order_relaxed);
   nodes.store(1, std::memory_order_relaxed);
   if (root.status == LpStatus::kInfeasible) {
@@ -366,6 +464,7 @@ MilpResult MilpSolver::Solve(std::span<const double> warm_start) {
     return result;
   }
   if (options_.enable_diving) {
+    TETRI_SPAN("solver.root_dive");
     dive(root_lp, root_lower, root_upper, root, &root_basis);
   }
 
@@ -388,9 +487,22 @@ MilpResult MilpSolver::Solve(std::span<const double> warm_start) {
 
     std::unique_lock<std::mutex> lock(queue_mu);
     while (true) {
-      queue_cv.wait(lock, [&] {
+      auto runnable = [&] {
         return done || !open.empty() || expanding_bounds.empty();
-      });
+      };
+      if (!runnable()) {
+        // Queue contention: this worker is about to block on peers. The
+        // wait count is always maintained; the wait-duration histogram
+        // reads the clock only when observability is on.
+        ins.queue_waits->Increment();
+        if (ObservabilityEnabled()) {
+          const auto wait_start = Clock::now();
+          queue_cv.wait(lock, runnable);
+          ins.queue_wait_ms->Observe(millis_since(wait_start));
+        } else {
+          queue_cv.wait(lock, runnable);
+        }
+      }
       if (done) {
         break;
       }
@@ -447,7 +559,7 @@ MilpResult MilpSolver::Solve(std::span<const double> warm_start) {
       std::copy(root_upper.begin(), root_upper.end(), upper.begin());
       ApplyNodeBounds(*node, lower, upper);
 
-      LpResult relax = lp.Solve(lower, upper, &last_basis);
+      LpResult relax = timed_lp(lp, lower, upper, &last_basis);
       int node_count = nodes.fetch_add(1, std::memory_order_relaxed) + 1;
       nodes_since_improvement.fetch_add(1, std::memory_order_relaxed);
       lp_iterations.fetch_add(relax.iterations, std::memory_order_relaxed);
@@ -516,17 +628,27 @@ MilpResult MilpSolver::Solve(std::span<const double> warm_start) {
     }
   };
 
-  if (num_workers == 1) {
-    // Run on the calling thread: identical node ordering, counts, and
-    // results to the historical sequential implementation.
-    worker(0);
-  } else {
-    ThreadPool pool(num_workers);
-    for (int w = 0; w < num_workers; ++w) {
-      pool.Submit([&worker, w] { worker(w); });
+  root_span.reset();
+
+  {
+    TETRI_SPAN("solver.branch_and_bound");
+    const auto bnb_start = Clock::now();
+    if (num_workers == 1) {
+      // Run on the calling thread: identical node ordering, counts, and
+      // results to the historical sequential implementation.
+      worker(0);
+    } else {
+      ThreadPool pool(num_workers);
+      for (int w = 0; w < num_workers; ++w) {
+        pool.Submit([&worker, w] { worker(w); });
+      }
+      pool.Wait();
     }
-    pool.Wait();
+    ins.branch_and_bound_ms->Observe(millis_since(bnb_start));
   }
+
+  // Result assembly (incumbent copy, status classification) until return.
+  TETRI_SPAN("solver.finalize");
 
   // All workers have joined; shared state is safe to read without locks.
   if (found_unbounded) {

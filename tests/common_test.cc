@@ -156,6 +156,33 @@ TEST(StatsTest, CdfIsMonotone) {
   EXPECT_DOUBLE_EQ(cdf.back().second, 1.0);
 }
 
+TEST(StatsTest, SortedCacheInvalidatesOnAdd) {
+  // Regression test for the cached-sort optimization: interleaving Add with
+  // Percentile/Cdf/Sorted queries must always reflect the latest samples,
+  // i.e. the cache is invalidated by every Add.
+  SampleStats stats;
+  stats.Add(10.0);
+  EXPECT_DOUBLE_EQ(stats.Percentile(100), 10.0);
+  stats.Add(5.0);  // arrives after the first query built the cache
+  EXPECT_DOUBLE_EQ(stats.Percentile(0), 5.0);
+  EXPECT_DOUBLE_EQ(stats.Percentile(100), 10.0);
+  stats.Add(20.0);
+  std::vector<double> sorted = stats.Sorted();
+  ASSERT_EQ(sorted.size(), 3u);
+  EXPECT_DOUBLE_EQ(sorted[0], 5.0);
+  EXPECT_DOUBLE_EQ(sorted[2], 20.0);
+  stats.Add(1.0);
+  auto cdf = stats.Cdf();
+  ASSERT_FALSE(cdf.empty());
+  EXPECT_DOUBLE_EQ(cdf.front().first, 1.0);
+  EXPECT_DOUBLE_EQ(cdf.back().first, 20.0);
+  // Repeated queries without new samples stay consistent (served from the
+  // cache) and out-of-order insertion never leaks into query results.
+  EXPECT_DOUBLE_EQ(stats.Percentile(0), 1.0);
+  EXPECT_DOUBLE_EQ(stats.Percentile(0), 1.0);
+  EXPECT_DOUBLE_EQ(stats.Mean(), 9.0);
+}
+
 TEST(StatsTest, FormatPercent) {
   EXPECT_EQ(FormatPercent(1, 2), "50.0%");
   EXPECT_EQ(FormatPercent(0, 0), "n/a");
@@ -174,6 +201,19 @@ TEST(LoggingTest, ThresholdControlsEmission) {
   SetLogLevel(LogLevel::kDebug);
   EXPECT_EQ(GetLogLevel(), LogLevel::kDebug);
   SetLogLevel(original);
+}
+
+TEST(LoggingTest, ParseLogLevelNamesAndFallback) {
+  // Case-insensitive names, as accepted by TETRISCHED_LOG_LEVEL.
+  EXPECT_EQ(ParseLogLevel("debug", LogLevel::kError), LogLevel::kDebug);
+  EXPECT_EQ(ParseLogLevel("INFO", LogLevel::kError), LogLevel::kInfo);
+  EXPECT_EQ(ParseLogLevel("Warning", LogLevel::kError), LogLevel::kWarning);
+  EXPECT_EQ(ParseLogLevel("warn", LogLevel::kError), LogLevel::kWarning);
+  EXPECT_EQ(ParseLogLevel("error", LogLevel::kDebug), LogLevel::kError);
+  // Unknown, empty, and missing values fall back.
+  EXPECT_EQ(ParseLogLevel("verbose", LogLevel::kWarning), LogLevel::kWarning);
+  EXPECT_EQ(ParseLogLevel("", LogLevel::kInfo), LogLevel::kInfo);
+  EXPECT_EQ(ParseLogLevel(nullptr, LogLevel::kError), LogLevel::kError);
 }
 
 }  // namespace

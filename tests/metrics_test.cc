@@ -1,0 +1,394 @@
+// Tests for the observability layer: metrics registry semantics, snapshot
+// isolation, concurrent updates (run under TSan in CI), span tree recording,
+// export formats, and the no-behavior-change guarantee of enabling exports.
+
+#include <algorithm>
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+#include <thread>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "src/common/metrics.h"
+#include "src/common/span.h"
+#include "src/core/scheduler.h"
+#include "src/sim/simulator.h"
+#include "src/sim/trace.h"
+#include "src/solver/milp.h"
+#include "src/solver/model.h"
+
+namespace tetrisched {
+namespace {
+
+// Restores the global observability flag on scope exit so tests cannot leak
+// an enabled flag into each other.
+class ObservabilityGuard {
+ public:
+  ObservabilityGuard() : prev_(ObservabilityEnabled()) {}
+  ~ObservabilityGuard() { SetObservabilityEnabled(prev_); }
+
+ private:
+  bool prev_;
+};
+
+TEST(MetricsTest, CounterBasics) {
+  Counter counter;
+  EXPECT_EQ(counter.value(), 0);
+  counter.Increment();
+  counter.Increment(41);
+  EXPECT_EQ(counter.value(), 42);
+  counter.Reset();
+  EXPECT_EQ(counter.value(), 0);
+}
+
+TEST(MetricsTest, GaugeBasics) {
+  Gauge gauge;
+  EXPECT_EQ(gauge.value(), 0.0);
+  gauge.Set(3.5);
+  EXPECT_EQ(gauge.value(), 3.5);
+  gauge.Set(-1.0);
+  EXPECT_EQ(gauge.value(), -1.0);
+  gauge.Reset();
+  EXPECT_EQ(gauge.value(), 0.0);
+}
+
+TEST(MetricsTest, HistogramBucketsAndStats) {
+  Histogram hist({1.0, 10.0, 100.0});
+  hist.Observe(0.5);    // bucket 0 (<= 1)
+  hist.Observe(1.0);    // bucket 0 (upper bound inclusive)
+  hist.Observe(5.0);    // bucket 1
+  hist.Observe(500.0);  // overflow bucket
+  HistogramSnapshot snap = hist.Snapshot("h");
+  EXPECT_EQ(snap.count, 4);
+  EXPECT_DOUBLE_EQ(snap.sum, 506.5);
+  EXPECT_DOUBLE_EQ(snap.min, 0.5);
+  EXPECT_DOUBLE_EQ(snap.max, 500.0);
+  ASSERT_EQ(snap.buckets.size(), 4u);
+  EXPECT_EQ(snap.buckets[0], 2);
+  EXPECT_EQ(snap.buckets[1], 1);
+  EXPECT_EQ(snap.buckets[2], 0);
+  EXPECT_EQ(snap.buckets[3], 1);
+  // Percentiles are monotone in p and clamped to the observed extrema.
+  double p50 = snap.Percentile(50);
+  double p95 = snap.Percentile(95);
+  EXPECT_LE(p50, p95);
+  EXPECT_GE(snap.Percentile(0), snap.min);
+  EXPECT_LE(snap.Percentile(100), snap.max);
+  EXPECT_DOUBLE_EQ(snap.Mean(), 506.5 / 4.0);
+}
+
+TEST(MetricsTest, EmptyHistogramIsWellDefined) {
+  Histogram hist({1.0, 2.0});
+  HistogramSnapshot snap = hist.Snapshot();
+  EXPECT_EQ(snap.count, 0);
+  EXPECT_EQ(snap.min, 0.0);
+  EXPECT_EQ(snap.max, 0.0);
+  EXPECT_EQ(snap.Percentile(50), 0.0);
+  EXPECT_EQ(snap.Mean(), 0.0);
+}
+
+TEST(MetricsTest, SnapshotIsolation) {
+  MetricsRegistry registry;
+  Counter* counter = registry.GetCounter("c");
+  Histogram* hist = registry.GetHistogram("h", {1.0, 2.0});
+  counter->Increment(3);
+  hist->Observe(1.5);
+  MetricsSnapshot snap = registry.Snapshot();
+  // Updates after the snapshot must not be visible in it.
+  counter->Increment(100);
+  hist->Observe(0.5);
+  EXPECT_EQ(snap.counters.at("c"), 3);
+  ASSERT_EQ(snap.histograms.size(), 1u);
+  EXPECT_EQ(snap.histograms[0].count, 1);
+  EXPECT_EQ(registry.Snapshot().counters.at("c"), 103);
+}
+
+TEST(MetricsTest, RegistryFindOrCreateIsStable) {
+  MetricsRegistry registry;
+  Counter* a = registry.GetCounter("same");
+  Counter* b = registry.GetCounter("same");
+  EXPECT_EQ(a, b);
+  a->Increment(7);
+  registry.Reset();
+  // Reset zeroes values but keeps handed-out pointers valid.
+  EXPECT_EQ(a->value(), 0);
+  a->Increment();
+  EXPECT_EQ(registry.GetCounter("same")->value(), 1);
+}
+
+TEST(MetricsTest, ConcurrentUpdatesAreExact) {
+  MetricsRegistry registry;
+  Counter* counter = registry.GetCounter("c");
+  Histogram* hist = registry.GetHistogram("h", {0.5});
+  constexpr int kThreads = 8;
+  constexpr int kPerThread = 20000;
+  std::vector<std::thread> threads;
+  threads.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&, t] {
+      for (int i = 0; i < kPerThread; ++i) {
+        counter->Increment();
+        hist->Observe(t % 2 == 0 ? 0.25 : 1.0);
+      }
+    });
+  }
+  for (std::thread& thread : threads) {
+    thread.join();
+  }
+  EXPECT_EQ(counter->value(), kThreads * kPerThread);
+  HistogramSnapshot snap = hist->Snapshot();
+  EXPECT_EQ(snap.count, kThreads * kPerThread);
+  EXPECT_EQ(snap.buckets[0] + snap.buckets[1], kThreads * kPerThread);
+  EXPECT_DOUBLE_EQ(snap.min, 0.25);
+  EXPECT_DOUBLE_EQ(snap.max, 1.0);
+}
+
+TEST(MetricsTest, PrometheusTextFormat) {
+  MetricsRegistry registry;
+  registry.GetCounter("jobs_total")->Increment(5);
+  registry.GetGauge("depth")->Set(2.5);
+  Histogram* hist = registry.GetHistogram("latency_ms", {1.0, 10.0});
+  hist->Observe(0.5);
+  hist->Observe(5.0);
+  std::string text = registry.ToPrometheusText();
+  EXPECT_NE(text.find("# TYPE jobs_total counter"), std::string::npos);
+  EXPECT_NE(text.find("jobs_total 5"), std::string::npos);
+  EXPECT_NE(text.find("# TYPE depth gauge"), std::string::npos);
+  EXPECT_NE(text.find("# TYPE latency_ms histogram"), std::string::npos);
+  // Buckets are cumulative and end with +Inf.
+  EXPECT_NE(text.find("latency_ms_bucket{le=\"1\"} 1"), std::string::npos);
+  EXPECT_NE(text.find("latency_ms_bucket{le=\"10\"} 2"), std::string::npos);
+  EXPECT_NE(text.find("latency_ms_bucket{le=\"+Inf\"} 2"), std::string::npos);
+  EXPECT_NE(text.find("latency_ms_sum"), std::string::npos);
+  EXPECT_NE(text.find("latency_ms_count 2"), std::string::npos);
+}
+
+// Minimal structural JSON check: balanced braces/brackets outside strings.
+void ExpectBalancedJson(const std::string& json) {
+  int braces = 0;
+  int brackets = 0;
+  bool in_string = false;
+  for (size_t i = 0; i < json.size(); ++i) {
+    char c = json[i];
+    if (in_string) {
+      if (c == '\\') {
+        ++i;
+      } else if (c == '"') {
+        in_string = false;
+      }
+      continue;
+    }
+    if (c == '"') {
+      in_string = true;
+    } else if (c == '{') {
+      ++braces;
+    } else if (c == '}') {
+      --braces;
+    } else if (c == '[') {
+      ++brackets;
+    } else if (c == ']') {
+      --brackets;
+    }
+    EXPECT_GE(braces, 0);
+    EXPECT_GE(brackets, 0);
+  }
+  EXPECT_FALSE(in_string);
+  EXPECT_EQ(braces, 0);
+  EXPECT_EQ(brackets, 0);
+}
+
+TEST(MetricsTest, JsonExportShape) {
+  MetricsRegistry registry;
+  registry.GetCounter("c")->Increment(1);
+  Histogram* hist = registry.GetHistogram("h", {1.0});
+  hist->Observe(0.5);
+  std::string json = registry.ToJson();
+  ExpectBalancedJson(json);
+  EXPECT_NE(json.find("\"counters\""), std::string::npos);
+  EXPECT_NE(json.find("\"gauges\""), std::string::npos);
+  EXPECT_NE(json.find("\"histograms\""), std::string::npos);
+  EXPECT_NE(json.find("\"p50\""), std::string::npos);
+  EXPECT_NE(json.find("\"p95\""), std::string::npos);
+  EXPECT_NE(json.find("\"p99\""), std::string::npos);
+  EXPECT_NE(json.find("\"buckets\""), std::string::npos);
+  // An empty registry is still valid JSON.
+  ExpectBalancedJson(MetricsRegistry().ToJson());
+}
+
+TEST(SpanTest, DisabledSpansRecordNothing) {
+  ObservabilityGuard guard;
+  SetObservabilityEnabled(false);
+  size_t before = SpanCollector::Global().size();
+  {
+    TETRI_SPAN("test.disabled");
+    TETRI_SPAN("test.disabled_inner");
+  }
+  EXPECT_EQ(SpanCollector::Global().size(), before);
+}
+
+TEST(SpanTest, NestedSpansRecordDepthAndContainment) {
+  ObservabilityGuard guard;
+  SetObservabilityEnabled(true);
+  SpanCollector::Global().Clear();
+  {
+    TETRI_SPAN("test.outer");
+    { TETRI_SPAN("test.inner"); }
+  }
+  SetObservabilityEnabled(false);
+  std::vector<SpanRecord> spans = SpanCollector::Global().Snapshot();
+  ASSERT_EQ(spans.size(), 2u);
+  // Spans finish innermost-first.
+  const SpanRecord& inner = spans[0];
+  const SpanRecord& outer = spans[1];
+  EXPECT_STREQ(inner.name, "test.inner");
+  EXPECT_STREQ(outer.name, "test.outer");
+  EXPECT_EQ(outer.depth, 0);
+  EXPECT_EQ(inner.depth, 1);
+  EXPECT_EQ(outer.thread, inner.thread);
+  // Interval containment: inner ⊆ outer.
+  EXPECT_GE(inner.start_us, outer.start_us);
+  EXPECT_LE(inner.start_us + inner.duration_us,
+            outer.start_us + outer.duration_us);
+  SpanCollector::Global().Clear();
+}
+
+TEST(SpanTest, ChromeTraceJsonShape) {
+  ObservabilityGuard guard;
+  SetObservabilityEnabled(true);
+  SpanCollector::Global().Clear();
+  { TETRI_SPAN("test.chrome"); }
+  SetObservabilityEnabled(false);
+  std::string json = SpanCollector::Global().ToChromeTraceJson();
+  ExpectBalancedJson(json);
+  EXPECT_NE(json.find("\"traceEvents\""), std::string::npos);
+  EXPECT_NE(json.find("\"test.chrome\""), std::string::npos);
+  EXPECT_NE(json.find("\"ph\": \"X\""), std::string::npos);
+  EXPECT_NE(json.find("\"ts\""), std::string::npos);
+  EXPECT_NE(json.find("\"dur\""), std::string::npos);
+  EXPECT_NE(json.find("\"tid\""), std::string::npos);
+  SpanCollector::Global().Clear();
+}
+
+TEST(SolverObservabilityTest, SolvePopulatesPhaseInstruments) {
+  ObservabilityGuard guard;
+  SetObservabilityEnabled(true);
+  MetricsRegistry& registry = GlobalMetrics();
+  Histogram* lp_ms = registry.GetHistogram("tetrisched_phase_lp_ms");
+  Histogram* bnb_ms =
+      registry.GetHistogram("tetrisched_phase_branch_and_bound_ms");
+  Counter* nodes = registry.GetCounter("tetrisched_solver_nodes_total");
+  Counter* solves = registry.GetCounter("tetrisched_solver_solves_total");
+  int64_t lp_before = lp_ms->count();
+  int64_t bnb_before = bnb_ms->count();
+  int64_t nodes_before = nodes->value();
+  int64_t solves_before = solves->value();
+
+  // max x + y with x + y <= 1.5 over binaries: fractional root, forces
+  // branching, optimum 1.
+  MilpModel model;
+  VarId x = model.AddBinaryVar("x");
+  VarId y = model.AddBinaryVar("y");
+  model.AddObjectiveTerm(x, 1.0);
+  model.AddObjectiveTerm(y, 1.0);
+  model.AddConstraint({{x, 1}, {y, 1}}, ConstraintSense::kLessEqual, 1.5);
+  MilpOptions options;
+  options.num_threads = 1;
+  MilpResult result = MilpSolver(model, options).Solve();
+  ASSERT_TRUE(result.HasSolution());
+  EXPECT_NEAR(result.objective, 1.0, 1e-6);
+
+  EXPECT_GT(lp_ms->count(), lp_before);
+  EXPECT_GT(bnb_ms->count(), bnb_before);
+  EXPECT_GT(nodes->value(), nodes_before);
+  EXPECT_EQ(solves->value(), solves_before + 1);
+}
+
+Job MakeJob(JobId id, int k, SimDuration runtime, SimTime submit) {
+  Job job;
+  job.id = id;
+  job.k = k;
+  job.actual_runtime = runtime;
+  job.submit = submit;
+  return job;
+}
+
+std::string RunScheduleCsv(const SimConfig& base_config) {
+  Cluster cluster = MakeUniformCluster(2, 4, 0);
+  std::vector<Job> jobs;
+  for (int i = 0; i < 6; ++i) {
+    jobs.push_back(MakeJob(i + 1, 1 + i % 3, 40 + 10 * (i % 2), 5 * i));
+  }
+  ApplyAdmission(cluster, jobs);
+  TetriSchedConfig config = TetriSchedConfig::Full();
+  config.milp.rel_gap = 0.0;
+  config.milp.num_threads = 1;
+  TetriScheduler scheduler(cluster, config);
+  SimTrace trace;
+  SimConfig sim_config = base_config;
+  sim_config.trace = &trace;
+  Simulator sim(cluster, scheduler, jobs, sim_config);
+  sim.Run();
+  return trace.ToCsv();
+}
+
+// Drops the trailing `value` column (wall-clock cycle latency, which varies
+// run to run) so the remaining columns describe only scheduling decisions.
+std::string StripTimingColumn(const std::string& csv) {
+  std::istringstream in(csv);
+  std::string out;
+  std::string line;
+  while (std::getline(in, line)) {
+    size_t comma = line.rfind(',');
+    out += line.substr(0, comma);
+    out += '\n';
+  }
+  return out;
+}
+
+TEST(DeterminismTest, EnablingExportsDoesNotChangeSchedule) {
+  ObservabilityGuard guard;
+  SetObservabilityEnabled(false);
+  SimConfig plain;
+  std::string baseline = StripTimingColumn(RunScheduleCsv(plain));
+
+  SimConfig exporting;
+  exporting.metrics_json_path = "metrics_test_export.json";
+  exporting.metrics_prom_path = "metrics_test_export.prom";
+  exporting.trace_json_path = "metrics_test_export_trace.json";
+  std::string with_exports = StripTimingColumn(RunScheduleCsv(exporting));
+
+  // Byte-identical event streams: observability must not steer decisions.
+  EXPECT_EQ(baseline, with_exports);
+  // Run() restored the flag it enabled.
+  EXPECT_FALSE(ObservabilityEnabled());
+
+  // The exported files exist, are well formed, and carry the phase data.
+  auto slurp = [](const char* path) {
+    std::ifstream in(path);
+    std::ostringstream buf;
+    buf << in.rdbuf();
+    return buf.str();
+  };
+  std::string metrics_json = slurp("metrics_test_export.json");
+  std::string prom = slurp("metrics_test_export.prom");
+  std::string trace_json = slurp("metrics_test_export_trace.json");
+  ExpectBalancedJson(metrics_json);
+  ExpectBalancedJson(trace_json);
+  for (const char* phase :
+       {"tetrisched_phase_strl_gen_ms", "tetrisched_phase_compile_ms",
+        "tetrisched_phase_solve_ms", "tetrisched_phase_commit_ms",
+        "tetrisched_phase_lp_ms", "tetrisched_phase_branch_and_bound_ms"}) {
+    EXPECT_NE(metrics_json.find(phase), std::string::npos) << phase;
+    EXPECT_NE(prom.find(phase), std::string::npos) << phase;
+  }
+  EXPECT_NE(trace_json.find("scheduler.cycle"), std::string::npos);
+  EXPECT_NE(trace_json.find("scheduler.solve"), std::string::npos);
+  std::remove("metrics_test_export.json");
+  std::remove("metrics_test_export.prom");
+  std::remove("metrics_test_export_trace.json");
+}
+
+}  // namespace
+}  // namespace tetrisched

@@ -62,6 +62,26 @@ TEST(TraceTest, EmptyTraceIsSafe) {
   EXPECT_NE(trace.ToCsv().find("time,kind"), std::string::npos);
 }
 
+TEST(TraceTest, CsvRoundTripsChurnEventKinds) {
+  SimTrace trace;
+  // kFallback carries the degradation-ladder rung in `count`.
+  trace.Record({8, TraceEventKind::kFallback, -1, -1, 1});
+  trace.Record({12, TraceEventKind::kFallback, -1, -1, 2});
+  trace.Record({16, TraceEventKind::kPlanReject, 9});
+  trace.Record({20, TraceEventKind::kNodeSlow, -1, 3, 0, 2.5});
+  trace.Record({40, TraceEventKind::kNodeSlowRecover, -1, 3});
+  std::string csv = trace.ToCsv();
+  EXPECT_NE(csv.find("8,fallback,-1,-1,1,0"), std::string::npos);
+  EXPECT_NE(csv.find("12,fallback,-1,-1,2,0"), std::string::npos);
+  EXPECT_NE(csv.find("16,plan-reject,9,-1,0,0"), std::string::npos);
+  EXPECT_NE(csv.find("20,node-slow,-1,3,0,2.5"), std::string::npos);
+  EXPECT_NE(csv.find("40,node-slow-recover,-1,3,0,0"), std::string::npos);
+  EXPECT_EQ(trace.CountKind(TraceEventKind::kFallback), 2);
+  EXPECT_EQ(trace.CountKind(TraceEventKind::kPlanReject), 1);
+  EXPECT_EQ(trace.CountKind(TraceEventKind::kNodeSlow), 1);
+  EXPECT_EQ(trace.CountKind(TraceEventKind::kNodeSlowRecover), 1);
+}
+
 TEST(TraceIntegrationTest, SimulatorRecordsLifecycle) {
   Cluster cluster = MakeUniformCluster(2, 4, 0);
   std::vector<Job> jobs{MakeJob(1, 2, 50, 0), MakeJob(2, 2, 30, 10)};
@@ -86,6 +106,33 @@ TEST(TraceIntegrationTest, SimulatorRecordsLifecycle) {
     EXPECT_GE(event.time, prev);
     prev = event.time;
   }
+}
+
+TEST(TraceIntegrationTest, FallbackEventCarriesLadderRung) {
+  Cluster cluster = MakeUniformCluster(2, 4, 0);
+  std::vector<Job> jobs{MakeJob(1, 2, 50, 0), MakeJob(2, 2, 30, 10)};
+  ApplyAdmission(cluster, jobs);
+  TetriSchedConfig config = TetriSchedConfig::Full();
+  config.milp.time_limit_seconds = 0.0;  // force the greedy fallback rung
+  TetriScheduler scheduler(cluster, config);
+  SimTrace trace;
+  SimConfig sim_config;
+  sim_config.trace = &trace;
+  Simulator sim(cluster, scheduler, jobs, sim_config);
+  sim.Run();
+
+  int fallbacks = 0;
+  for (const TraceEvent& event : trace.events()) {
+    if (event.kind != TraceEventKind::kFallback) {
+      continue;
+    }
+    ++fallbacks;
+    // Rung 1 = greedy first-fit, rung 2 = skip; 0 would mean the MILP
+    // planned the cycle, which a zero budget rules out.
+    EXPECT_GE(event.count, 1);
+    EXPECT_LE(event.count, 2);
+  }
+  EXPECT_GT(fallbacks, 0);
 }
 
 TEST(TraceIntegrationTest, RecordsPreemptionsAndFailures) {
