@@ -3,6 +3,8 @@
 #include <cstdio>
 #include <cstdlib>
 
+#include "src/common/atomic_io.h"
+
 namespace tetrisched {
 namespace {
 
@@ -60,15 +62,12 @@ bool BenchJsonWriter::WriteIfRequested(const std::string& default_path) const {
   std::string path = (value == "1" || value == "true")
                          ? default_path
                          : value + "/" + default_path;
-  FILE* file = std::fopen(path.c_str(), "w");
-  if (file == nullptr) {
-    std::fprintf(stderr, "bench_json: cannot open %s for writing\n",
-                 path.c_str());
+  // Atomic replace: perf-tracking scripts must never read a half-written
+  // artifact from a bench run that died mid-export.
+  if (!WriteFileAtomic(path, ToJson())) {
+    std::fprintf(stderr, "bench_json: cannot write %s\n", path.c_str());
     return false;
   }
-  std::string json = ToJson();
-  std::fwrite(json.data(), 1, json.size(), file);
-  std::fclose(file);
   std::printf("bench_json: wrote %s\n", path.c_str());
   return true;
 }

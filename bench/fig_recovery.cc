@@ -1,0 +1,159 @@
+// Recovery-latency sweep (robustness extension; not a paper figure).
+//
+// Measures PersistenceManager::Recover() wall time as a function of journal
+// length: a synthetic but representative event mix (two-phase commits,
+// launches, completions, Rayon agenda changes) is appended to an empty
+// snapshot, then recovery replays it from scratch. Both the in-memory
+// storage (pure replay cost) and the file-backed storage (replay + disk
+// read) are swept, so the ms/1k-records slope separates decode/apply cost
+// from I/O.
+//
+// With TETRISCHED_BENCH_JSON set, one record per (storage, journal length)
+// cell is written to BENCH_recovery.json.
+
+#include <unistd.h>
+
+#include <chrono>
+#include <cstdio>
+#include <filesystem>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "bench/bench_json.h"
+#include "src/persist/persist.h"
+
+namespace tetrisched {
+namespace {
+
+// Appends `records` events shaped like a steady scheduling workload:
+// every 8 records form two cycles of intent / launch / applied / complete
+// plus a Rayon admit, over a rolling population of jobs.
+void FillJournal(PersistenceManager& persist, int records) {
+  JobId job = 0;
+  SimTime now = 0;
+  for (int i = 0; i < records; ++i) {
+    DurableEvent event;
+    event.time = now;
+    switch (i % 8) {
+      case 0: {
+        event.kind = DurableEventKind::kCommitIntent;
+        GangRecord gang{job, {{0, 2}, {1, 1}}, now, now + 40, 40};
+        event.gangs = {gang};
+        break;
+      }
+      case 1:
+        event.kind = DurableEventKind::kGangLaunch;
+        event.job = job;
+        event.gang = GangRecord{job, {{0, 2}, {1, 1}}, now, now + 40, 40};
+        break;
+      case 2:
+        event.kind = DurableEventKind::kCommitApplied;
+        event.blob = std::string(128, 'w');  // warm-start-sized policy blob
+        break;
+      case 3:
+        event.kind = DurableEventKind::kRayonAdmit;
+        event.job = job + 1;
+        event.k = 3;
+        event.interval = {now, now + 60};
+        break;
+      case 4:
+        event.kind = DurableEventKind::kSloUpdate;
+        event.job = job + 1;
+        event.slo_class = 1;
+        event.interval = {now, now + 60};
+        break;
+      case 5:
+        event.kind = DurableEventKind::kGangComplete;
+        event.job = job;
+        event.preferred = (i % 16) == 5;
+        event.runtime = 38;
+        break;
+      case 6:
+        event.kind = DurableEventKind::kGangKill;
+        event.job = job + 2;
+        event.retries = 1;
+        event.eligible_at = now + 8;
+        break;
+      case 7:
+        event.kind = DurableEventKind::kGangLaunch;
+        event.job = job + 2;
+        event.gang = GangRecord{job + 2, {{2, 1}}, now, now + 20, 20};
+        ++job;
+        now += 4;
+        break;
+    }
+    persist.Append(event);
+  }
+}
+
+double TimeRecover(PersistenceManager& persist, int reps, int* replayed) {
+  double best_ms = 1e300;
+  for (int rep = 0; rep < reps; ++rep) {
+    auto start = std::chrono::steady_clock::now();
+    RecoveryResult result = persist.Recover();
+    double ms = std::chrono::duration<double, std::milli>(
+                    std::chrono::steady_clock::now() - start)
+                    .count();
+    if (ms < best_ms) {
+      best_ms = ms;
+    }
+    *replayed = result.replayed;
+  }
+  return best_ms;
+}
+
+void RunCell(const char* storage_name, int records, BenchJsonWriter& json) {
+  std::unique_ptr<JournalStorage> storage;
+  std::string dir;
+  if (std::string(storage_name) == "file") {
+    dir = (std::filesystem::temp_directory_path() /
+           ("tetri_fig_recovery_" + std::to_string(::getpid())))
+              .string();
+    std::filesystem::create_directories(dir);
+    storage = std::make_unique<FileJournalStorage>(dir);
+  } else {
+    storage = std::make_unique<MemoryJournalStorage>();
+  }
+
+  // Disable the cadence so the whole journal survives to recovery.
+  PersistOptions options;
+  options.snapshot_every = 0;
+  PersistenceManager persist(std::move(storage), options);
+  FillJournal(persist, records);
+  size_t journal_bytes = persist.storage().ReadJournal().size();
+
+  int replayed = 0;
+  double ms = TimeRecover(persist, /*reps=*/5, &replayed);
+  double per_1k = records > 0 ? ms * 1000.0 / records : 0.0;
+  std::printf("%-6s %6d records  %8zu B  recover %8.3f ms  (%6.3f ms/1k)\n",
+              storage_name, records, journal_bytes, ms, per_1k);
+  json.Add("recovery_" + std::string(storage_name) + "_" +
+               std::to_string(records),
+           ms,
+           {{"records", static_cast<double>(records)},
+            {"journal_bytes", static_cast<double>(journal_bytes)},
+            {"replayed", static_cast<double>(replayed)},
+            {"ms_per_1k_records", per_1k}});
+
+  if (!dir.empty()) {
+    std::filesystem::remove_all(dir);
+  }
+}
+
+}  // namespace
+}  // namespace tetrisched
+
+int main() {
+  using namespace tetrisched;
+  std::printf("recovery latency vs journal length (DESIGN.md §11)\n\n");
+  BenchJsonWriter json;
+  for (const char* storage : {"memory", "file"}) {
+    for (int records : {64, 256, 1024, 4096, 16384}) {
+      RunCell(storage, records, json);
+    }
+    std::printf("\n");
+  }
+  json.WriteIfRequested("BENCH_recovery.json");
+  return 0;
+}

@@ -14,11 +14,11 @@
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
-#include <fstream>
 #include <memory>
 #include <string>
 
 #include "src/baseline/capacity_scheduler.h"
+#include "src/common/atomic_io.h"
 #include "src/baseline/delay_scheduler.h"
 #include "src/core/scheduler.h"
 #include "src/sim/simulator.h"
@@ -178,10 +178,13 @@ int main(int argc, char** argv) {
                 trace.RenderUtilizationTimeline(cluster.num_nodes()).c_str());
   }
   if (!flags.trace_path.empty()) {
-    std::ofstream out(flags.trace_path);
-    out << trace.ToCsv();
-    std::printf("trace written to %s (%zu events)\n",
-                flags.trace_path.c_str(), trace.size());
+    if (WriteFileAtomic(flags.trace_path, trace.ToCsv())) {
+      std::printf("trace written to %s (%zu events)\n",
+                  flags.trace_path.c_str(), trace.size());
+    } else {
+      std::fprintf(stderr, "cannot write trace to %s\n",
+                   flags.trace_path.c_str());
+    }
   }
   return 0;
 }

@@ -1,0 +1,42 @@
+#include "src/common/atomic_io.h"
+
+#include <cstdio>
+#include <fstream>
+
+#ifdef _WIN32
+#include <process.h>
+#else
+#include <unistd.h>
+#endif
+
+namespace tetrisched {
+
+bool WriteFileAtomic(const std::string& path, std::string_view content) {
+#ifdef _WIN32
+  long pid = static_cast<long>(_getpid());
+#else
+  long pid = static_cast<long>(getpid());
+#endif
+  std::string tmp = path + ".tmp." + std::to_string(pid);
+  {
+    std::ofstream out(tmp, std::ios::binary | std::ios::trunc);
+    if (!out) {
+      return false;
+    }
+    out.write(content.data(),
+              static_cast<std::streamsize>(content.size()));
+    out.flush();
+    if (!out) {
+      out.close();
+      std::remove(tmp.c_str());
+      return false;
+    }
+  }
+  if (std::rename(tmp.c_str(), path.c_str()) != 0) {
+    std::remove(tmp.c_str());
+    return false;
+  }
+  return true;
+}
+
+}  // namespace tetrisched

@@ -1,0 +1,28 @@
+// Crash-atomic file replacement for every artifact this repo exports
+// (metrics JSON/Prometheus text, Chrome traces, bench JSON, journal
+// snapshots).
+//
+// A process that dies mid-export must never leave a truncated artifact at
+// the destination path: consumers (CI validators, perf-tracking scripts,
+// recovery) treat whatever is at the path as complete. WriteFileAtomic
+// therefore streams the content to `<path>.tmp.<pid>` in the same directory
+// and renames it over the destination only after a successful write+close —
+// rename(2) within one directory is atomic, so readers observe either the
+// old file or the new one, never a prefix.
+
+#ifndef TETRISCHED_COMMON_ATOMIC_IO_H_
+#define TETRISCHED_COMMON_ATOMIC_IO_H_
+
+#include <string>
+#include <string_view>
+
+namespace tetrisched {
+
+// Atomically replaces `path` with `content`. Returns false (leaving any
+// previous file intact and cleaning up the temporary) if the temporary
+// cannot be written or renamed; the caller decides whether to log.
+bool WriteFileAtomic(const std::string& path, std::string_view content);
+
+}  // namespace tetrisched
+
+#endif  // TETRISCHED_COMMON_ATOMIC_IO_H_

@@ -1,0 +1,132 @@
+// Little-endian binary (de)serialization helpers shared by the persistence
+// subsystem and any module that needs a compact durable encoding (the
+// scheduler's warm-start blob, journal records, snapshots).
+//
+// The encoding is explicitly little-endian and fixed-width so journal files
+// written on one machine replay identically on another; ByteReader is
+// bounds-checked and turns every truncation into a clean `ok() == false`
+// instead of UB, which the journal layer relies on to detect torn records.
+
+#ifndef TETRISCHED_COMMON_BYTES_H_
+#define TETRISCHED_COMMON_BYTES_H_
+
+#include <cstdint>
+#include <cstring>
+#include <string>
+#include <string_view>
+
+namespace tetrisched {
+
+class ByteWriter {
+ public:
+  void PutU8(uint8_t v) { out_.push_back(static_cast<char>(v)); }
+
+  void PutU32(uint32_t v) {
+    for (int i = 0; i < 4; ++i) {
+      out_.push_back(static_cast<char>((v >> (8 * i)) & 0xff));
+    }
+  }
+
+  void PutU64(uint64_t v) {
+    for (int i = 0; i < 8; ++i) {
+      out_.push_back(static_cast<char>((v >> (8 * i)) & 0xff));
+    }
+  }
+
+  void PutI64(int64_t v) { PutU64(static_cast<uint64_t>(v)); }
+
+  void PutDouble(double v) {
+    uint64_t bits = 0;
+    std::memcpy(&bits, &v, sizeof(bits));
+    PutU64(bits);
+  }
+
+  void PutString(std::string_view s) {
+    PutU32(static_cast<uint32_t>(s.size()));
+    out_.append(s.data(), s.size());
+  }
+
+  const std::string& str() const { return out_; }
+  std::string Take() { return std::move(out_); }
+
+ private:
+  std::string out_;
+};
+
+class ByteReader {
+ public:
+  explicit ByteReader(std::string_view data) : data_(data) {}
+
+  bool ok() const { return ok_; }
+  bool AtEnd() const { return pos_ == data_.size(); }
+  size_t pos() const { return pos_; }
+
+  uint8_t GetU8() {
+    if (!Require(1)) {
+      return 0;
+    }
+    return static_cast<uint8_t>(data_[pos_++]);
+  }
+
+  uint32_t GetU32() {
+    if (!Require(4)) {
+      return 0;
+    }
+    uint32_t v = 0;
+    for (int i = 0; i < 4; ++i) {
+      v |= static_cast<uint32_t>(static_cast<uint8_t>(data_[pos_ + i]))
+           << (8 * i);
+    }
+    pos_ += 4;
+    return v;
+  }
+
+  uint64_t GetU64() {
+    if (!Require(8)) {
+      return 0;
+    }
+    uint64_t v = 0;
+    for (int i = 0; i < 8; ++i) {
+      v |= static_cast<uint64_t>(static_cast<uint8_t>(data_[pos_ + i]))
+           << (8 * i);
+    }
+    pos_ += 8;
+    return v;
+  }
+
+  int64_t GetI64() { return static_cast<int64_t>(GetU64()); }
+
+  double GetDouble() {
+    uint64_t bits = GetU64();
+    double v = 0.0;
+    std::memcpy(&v, &bits, sizeof(v));
+    return v;
+  }
+
+  std::string GetString() {
+    uint32_t size = GetU32();
+    if (!Require(size)) {
+      return {};
+    }
+    std::string s(data_.substr(pos_, size));
+    pos_ += size;
+    return s;
+  }
+
+ private:
+  bool Require(size_t n) {
+    if (!ok_ || data_.size() - pos_ < n) {
+      ok_ = false;
+      return false;
+    }
+    return true;
+  }
+
+  std::string_view data_;
+  size_t pos_ = 0;
+  bool ok_ = true;
+};
+
+}  // namespace tetrisched
+
+#endif  // TETRISCHED_COMMON_BYTES_H_

@@ -2,6 +2,8 @@
 
 #include <atomic>
 #include <chrono>
+#include <cstring>
+#include <thread>
 
 namespace tetrisched {
 namespace span_internal {
@@ -15,7 +17,48 @@ Clock::time_point ProcessEpoch() {
   return epoch;
 }
 
+struct SpanCrashHook {
+  std::atomic<bool> armed{false};
+  const char* name = nullptr;
+  void (*fn)() = nullptr;
+  std::thread::id thread;
+};
+
+SpanCrashHook& CrashHook() {
+  static SpanCrashHook hook;
+  return hook;
+}
+
 }  // namespace
+
+void ArmSpanCrashHook(const char* name, void (*fn)()) {
+  SpanCrashHook& hook = CrashHook();
+  hook.name = name;
+  hook.fn = fn;
+  hook.thread = std::this_thread::get_id();
+  hook.armed.store(true, std::memory_order_release);
+}
+
+void DisarmSpanCrashHook() {
+  CrashHook().armed.store(false, std::memory_order_release);
+}
+
+bool SpanCrashHookArmed() {
+  return CrashHook().armed.load(std::memory_order_relaxed);
+}
+
+void MaybeFireSpanCrashHook(const char* name) {
+  SpanCrashHook& hook = CrashHook();
+  if (!hook.armed.load(std::memory_order_acquire) ||
+      std::this_thread::get_id() != hook.thread ||
+      std::strcmp(name, hook.name) != 0) {
+    return;
+  }
+  // Disarm before firing: the callback throws, and the unwinding path
+  // constructs spans of its own.
+  hook.armed.store(false, std::memory_order_release);
+  hook.fn();
+}
 
 uint64_t NowMicros() {
   return static_cast<uint64_t>(

@@ -48,6 +48,17 @@ uint32_t CurrentThreadId();
 // Mutable nesting depth of the calling thread.
 int32_t& CurrentDepth();
 
+// One-shot crash hook for fault injection (DESIGN.md §11): while armed, the
+// first ScopedSpan constructed *on the arming thread* whose name matches
+// `name` disarms the hook and invokes `fn` (which typically throws a crash
+// signal). Solver worker threads construct spans too, so the thread match is
+// load-bearing — the signal must unwind the scheduler's cycle, not a pool
+// thread. Disarmed cost: one relaxed atomic load in the ScopedSpan ctor.
+void ArmSpanCrashHook(const char* name, void (*fn)());
+void DisarmSpanCrashHook();
+bool SpanCrashHookArmed();
+void MaybeFireSpanCrashHook(const char* name);
+
 }  // namespace span_internal
 
 // Thread-safe buffer of finished spans. Recording appends under a mutex;
@@ -74,6 +85,9 @@ class SpanCollector {
 class ScopedSpan {
  public:
   explicit ScopedSpan(const char* name) {
+    if (span_internal::SpanCrashHookArmed()) {
+      span_internal::MaybeFireSpanCrashHook(name);  // may throw (by design)
+    }
     if (!ObservabilityEnabled()) {
       return;  // zero-overhead disabled path: one relaxed load, no clock
     }

@@ -11,6 +11,8 @@
 #define TETRISCHED_CORE_POLICY_H_
 
 #include <map>
+#include <string>
+#include <string_view>
 #include <vector>
 
 #include "src/cluster/cluster.h"
@@ -100,6 +102,13 @@ class SchedulerPolicy {
                            const std::vector<RunningHold>& running) = 0;
 
   virtual const char* name() const = 0;
+
+  // Opaque durable state for crash recovery (DESIGN.md §11). The simulator
+  // journals the export with every committed cycle and feeds it back into a
+  // freshly constructed policy after a crash. Stateless policies keep the
+  // defaults; TetriSched round-trips its warm-start plan.
+  virtual std::string ExportDurableState() const { return {}; }
+  virtual void ImportDurableState(std::string_view /*blob*/) {}
 };
 
 }  // namespace tetrisched

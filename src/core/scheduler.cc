@@ -5,6 +5,7 @@
 #include <cmath>
 #include <limits>
 
+#include "src/common/bytes.h"
 #include "src/common/logging.h"
 #include "src/common/metrics.h"
 #include "src/common/span.h"
@@ -130,6 +131,46 @@ const char* TetriScheduler::name() const {
     return "TetriSched-NP";
   }
   return "TetriSched";
+}
+
+std::string TetriScheduler::ExportDurableState() const {
+  ByteWriter writer;
+  writer.PutU32(static_cast<uint32_t>(previous_plan_.size()));
+  for (const auto& [tag, counts] : previous_plan_) {
+    writer.PutI64(tag);
+    writer.PutU32(static_cast<uint32_t>(counts.size()));
+    for (const auto& [partition, count] : counts) {
+      writer.PutI64(partition);
+      writer.PutI64(count);
+    }
+  }
+  return writer.str();
+}
+
+void TetriScheduler::ImportDurableState(std::string_view blob) {
+  previous_plan_.clear();
+  if (blob.empty()) {
+    return;  // empty export: no surviving plan
+  }
+  ByteReader reader(blob);
+  LeafGrants plan;
+  uint32_t num_tags = reader.GetU32();
+  for (uint32_t i = 0; reader.ok() && i < num_tags; ++i) {
+    LeafTag tag = reader.GetI64();
+    uint32_t num_counts = reader.GetU32();
+    std::map<PartitionId, int>& counts = plan[tag];
+    for (uint32_t j = 0; reader.ok() && j < num_counts; ++j) {
+      PartitionId partition = static_cast<PartitionId>(reader.GetI64());
+      counts[partition] = static_cast<int>(reader.GetI64());
+    }
+  }
+  if (!reader.ok() || !reader.AtEnd()) {
+    TETRI_LOG(kWarning)
+        << "TetriScheduler: discarding malformed durable state ("
+        << blob.size() << " bytes); next solve starts cold";
+    return;
+  }
+  previous_plan_ = std::move(plan);
 }
 
 TimeGrid TetriScheduler::MakeGrid(SimTime now) const {

@@ -80,6 +80,12 @@ class TetriScheduler : public SchedulerPolicy {
 
   const char* name() const override;
 
+  // Durable state = the warm-start plan (the only mutable policy state).
+  // Round-tripping it through a crash keeps post-recovery solves on the
+  // same incumbent trajectory as an uninterrupted run (DESIGN.md §11).
+  std::string ExportDurableState() const override;
+  void ImportDurableState(std::string_view blob) override;
+
   const TetriSchedConfig& config() const { return config_; }
 
  private:

@@ -1,0 +1,190 @@
+#include "src/persist/journal.h"
+
+#include <array>
+#include <fstream>
+#include <sstream>
+
+#include "src/common/atomic_io.h"
+#include "src/common/bytes.h"
+#include "src/common/logging.h"
+
+namespace tetrisched {
+namespace {
+
+std::array<uint32_t, 256> MakeCrcTable() {
+  std::array<uint32_t, 256> table{};
+  for (uint32_t i = 0; i < 256; ++i) {
+    uint32_t c = i;
+    for (int bit = 0; bit < 8; ++bit) {
+      c = (c & 1) != 0 ? 0xEDB88320u ^ (c >> 1) : c >> 1;
+    }
+    table[i] = c;
+  }
+  return table;
+}
+
+constexpr size_t kFrameHeaderBytes = 8;  // u32 length + u32 crc
+
+// Reads the two little-endian header words at `offset`; false when fewer
+// than kFrameHeaderBytes remain.
+bool ReadHeader(std::string_view bytes, size_t offset, uint32_t* length,
+                uint32_t* crc) {
+  if (bytes.size() - offset < kFrameHeaderBytes) {
+    return false;
+  }
+  ByteReader reader(bytes.substr(offset, kFrameHeaderBytes));
+  *length = reader.GetU32();
+  *crc = reader.GetU32();
+  return true;
+}
+
+}  // namespace
+
+uint32_t Crc32(std::string_view data) {
+  static const std::array<uint32_t, 256> table = MakeCrcTable();
+  uint32_t crc = 0xFFFFFFFFu;
+  for (char ch : data) {
+    crc = table[(crc ^ static_cast<uint8_t>(ch)) & 0xff] ^ (crc >> 8);
+  }
+  return crc ^ 0xFFFFFFFFu;
+}
+
+std::string EncodeFrame(std::string_view payload) {
+  ByteWriter writer;
+  writer.PutU32(static_cast<uint32_t>(payload.size()));
+  writer.PutU32(Crc32(payload));
+  std::string frame = writer.Take();
+  frame.append(payload.data(), payload.size());
+  return frame;
+}
+
+DecodedJournal DecodeFrames(std::string_view bytes, bool log_dropped) {
+  DecodedJournal decoded;
+  size_t offset = 0;
+  bool tail_bad = false;
+  while (offset < bytes.size()) {
+    uint32_t length = 0;
+    uint32_t crc = 0;
+    if (!ReadHeader(bytes, offset, &length, &crc) ||
+        bytes.size() - offset - kFrameHeaderBytes < length) {
+      tail_bad = true;  // torn frame: header or payload incomplete
+      break;
+    }
+    std::string_view payload =
+        bytes.substr(offset + kFrameHeaderBytes, length);
+    if (Crc32(payload) != crc) {
+      tail_bad = true;
+      break;
+    }
+    decoded.payloads.emplace_back(payload);
+    offset += kFrameHeaderBytes + length;
+  }
+  decoded.valid_bytes = offset;
+
+  if (!tail_bad) {
+    return decoded;
+  }
+  // The log ends here. Walk the remaining frames structurally (their
+  // contents are untrusted) so every dropped record gets one warning.
+  size_t cursor = offset;
+  while (cursor < bytes.size()) {
+    uint32_t length = 0;
+    uint32_t crc = 0;
+    if (!ReadHeader(bytes, cursor, &length, &crc) ||
+        bytes.size() - cursor - kFrameHeaderBytes < length) {
+      // Unframeable tail fragment: one final dropped record.
+      ++decoded.dropped_records;
+      if (log_dropped) {
+        TETRI_LOG(kWarning)
+            << "journal: dropping torn tail record at offset " << cursor
+            << " (" << bytes.size() - cursor << " trailing bytes)";
+      }
+      break;
+    }
+    ++decoded.dropped_records;
+    if (log_dropped) {
+      TETRI_LOG(kWarning) << "journal: dropping record at offset " << cursor
+                          << " past the first bad CRC (payload " << length
+                          << " bytes)";
+    }
+    cursor += kFrameHeaderBytes + length;
+  }
+  return decoded;
+}
+
+// --- MemoryJournalStorage ---------------------------------------------------
+
+void MemoryJournalStorage::AppendJournal(std::string_view bytes) {
+  journal_.append(bytes.data(), bytes.size());
+}
+
+std::string MemoryJournalStorage::ReadJournal() const { return journal_; }
+
+void MemoryJournalStorage::TruncateJournal() { journal_.clear(); }
+
+void MemoryJournalStorage::WriteSnapshot(std::string_view bytes) {
+  snapshot_.assign(bytes.data(), bytes.size());
+}
+
+std::string MemoryJournalStorage::ReadSnapshot() const { return snapshot_; }
+
+// --- FileJournalStorage -----------------------------------------------------
+
+FileJournalStorage::FileJournalStorage(std::string dir)
+    : dir_(std::move(dir)) {}
+
+std::string FileJournalStorage::journal_path() const {
+  return dir_ + "/journal.wal";
+}
+
+std::string FileJournalStorage::snapshot_path() const {
+  return dir_ + "/snapshot.bin";
+}
+
+void FileJournalStorage::AppendJournal(std::string_view bytes) {
+  std::ofstream out(journal_path(),
+                    std::ios::binary | std::ios::app);
+  if (!out) {
+    TETRI_LOG(kError) << "journal: cannot append to " << journal_path();
+    return;
+  }
+  out.write(bytes.data(), static_cast<std::streamsize>(bytes.size()));
+  out.flush();
+}
+
+std::string FileJournalStorage::ReadJournal() const {
+  std::ifstream in(journal_path(), std::ios::binary);
+  if (!in) {
+    return {};
+  }
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  return buffer.str();
+}
+
+void FileJournalStorage::TruncateJournal() {
+  std::ofstream out(journal_path(),
+                    std::ios::binary | std::ios::trunc);
+  if (!out) {
+    TETRI_LOG(kError) << "journal: cannot truncate " << journal_path();
+  }
+}
+
+void FileJournalStorage::WriteSnapshot(std::string_view bytes) {
+  if (!WriteFileAtomic(snapshot_path(), bytes)) {
+    TETRI_LOG(kError) << "journal: cannot write snapshot "
+                      << snapshot_path();
+  }
+}
+
+std::string FileJournalStorage::ReadSnapshot() const {
+  std::ifstream in(snapshot_path(), std::ios::binary);
+  if (!in) {
+    return {};
+  }
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  return buffer.str();
+}
+
+}  // namespace tetrisched

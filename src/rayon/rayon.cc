@@ -21,6 +21,23 @@ int RayonAdmission::CommittedAt(SimTime t) const {
   return committed;
 }
 
+RayonState RayonAdmission::ExportState() const {
+  RayonState state;
+  state.capacity = capacity_;
+  state.num_accepted = num_accepted_;
+  state.num_rejected = num_rejected_;
+  state.deltas.assign(deltas_.begin(), deltas_.end());
+  return state;
+}
+
+void RayonAdmission::Restore(const RayonState& state) {
+  capacity_ = state.capacity;
+  num_accepted_ = state.num_accepted;
+  num_rejected_ = state.num_rejected;
+  deltas_.clear();
+  deltas_.insert(state.deltas.begin(), state.deltas.end());
+}
+
 void RayonAdmission::Release(TimeRange interval, int k) {
   if (interval.empty() || k <= 0) {
     return;

@@ -37,6 +37,22 @@ struct ReservationDecision {
   TimeRange interval{0, 0};  // the guaranteed [start, start+duration) slot
 };
 
+// Complete serializable image of a RayonAdmission: the capacity, the
+// accept/reject counters, and the stepwise agenda. Exported for snapshots
+// and rebuilt on crash recovery (DESIGN.md §11); replaying journaled
+// admissions/releases on top of an exported state must land exactly where
+// the live object would, so the delta arithmetic in ExportState/Restore
+// mirrors Submit/Release bit for bit.
+struct RayonState {
+  int capacity = 0;
+  int num_accepted = 0;
+  int num_rejected = 0;
+  // (time, capacity delta) agenda steps, ascending by time.
+  std::vector<std::pair<SimTime, int>> deltas;
+
+  bool operator==(const RayonState& other) const = default;
+};
+
 class RayonAdmission {
  public:
   explicit RayonAdmission(int cluster_capacity);
@@ -56,6 +72,12 @@ class RayonAdmission {
   // accepted Submit. num_accepted() stays a lifetime counter and is not
   // decremented.
   void Release(TimeRange interval, int k);
+
+  // Snapshot/recovery support: ExportState captures the full agenda;
+  // Restore overwrites this object with a previously exported (or
+  // journal-replayed) state. Restore(ExportState()) is an exact no-op.
+  RayonState ExportState() const;
+  void Restore(const RayonState& state);
 
   int capacity() const { return capacity_; }
   int num_accepted() const { return num_accepted_; }

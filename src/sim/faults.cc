@@ -9,6 +9,34 @@
 
 namespace tetrisched {
 
+const char* ToString(CrashPhase phase) {
+  switch (phase) {
+    case CrashPhase::kBeforeCycle:  return "before_cycle";
+    case CrashPhase::kAvailability: return "availability";
+    case CrashPhase::kStrlGen:      return "strl_gen";
+    case CrashPhase::kCompile:      return "compile";
+    case CrashPhase::kSolve:        return "solve";
+    case CrashPhase::kValidate:     return "validate";
+    case CrashPhase::kExtract:      return "extract";
+    case CrashPhase::kCommitIntent: return "commit_intent";
+    case CrashPhase::kMidCommit:    return "mid_commit";
+    case CrashPhase::kAfterCommit:  return "after_commit";
+  }
+  return "unknown";
+}
+
+const char* CrashPhaseSpanName(CrashPhase phase) {
+  switch (phase) {
+    case CrashPhase::kAvailability: return "scheduler.availability";
+    case CrashPhase::kStrlGen:      return "scheduler.strl_gen";
+    case CrashPhase::kCompile:      return "scheduler.compile";
+    case CrashPhase::kSolve:        return "scheduler.solve";
+    case CrashPhase::kValidate:     return "scheduler.validate";
+    case CrashPhase::kExtract:      return "scheduler.commit";
+    default:                        return nullptr;
+  }
+}
+
 std::vector<NodeFailure> NormalizeNodeFailures(const Cluster& cluster,
                                                std::vector<NodeFailure> failures,
                                                bool log_dropped,
@@ -56,7 +84,8 @@ std::vector<NodeFailure> NormalizeNodeFailures(const Cluster& cluster,
 FaultSchedule GenerateFaultSchedule(const Cluster& cluster,
                                     const FaultModelParams& params) {
   FaultSchedule schedule;
-  if (params.mtbf <= 0.0 || cluster.num_nodes() == 0) {
+  if ((params.mtbf <= 0.0 && params.scheduler_crash_mtbf <= 0.0) ||
+      cluster.num_nodes() == 0) {
     return schedule;
   }
 
@@ -70,7 +99,8 @@ FaultSchedule GenerateFaultSchedule(const Cluster& cluster,
   // Burst decisions draw from their own substream so every node's churn
   // stream stays identical whether or not bursts are enabled elsewhere.
   Rng burst_rng = root.Fork();
-  for (NodeId node = 0; node < cluster.num_nodes(); ++node) {
+  for (NodeId node = 0; params.mtbf > 0.0 && node < cluster.num_nodes();
+       ++node) {
     Rng rng = root.Fork();
     SimTime t = static_cast<SimTime>(std::llround(rng.Exponential(params.mtbf)));
     for (int count = 0; count < params.max_failures_per_node; ++count) {
@@ -99,6 +129,25 @@ FaultSchedule GenerateFaultSchedule(const Cluster& cluster,
       }
       t += down + static_cast<SimTime>(
                       std::llround(rng.Exponential(params.mtbf)));
+    }
+  }
+
+  // Scheduler crashes draw from a substream forked *after* every node's, so
+  // enabling them leaves existing churn schedules byte-identical.
+  if (params.scheduler_crash_mtbf > 0.0) {
+    Rng crash_rng = root.Fork();
+    SimTime t = static_cast<SimTime>(
+        std::llround(crash_rng.Exponential(params.scheduler_crash_mtbf)));
+    for (int count = 0; count < params.max_failures_per_node; ++count) {
+      if (t >= params.horizon) {
+        break;
+      }
+      CrashPhase phase = static_cast<CrashPhase>(
+          crash_rng.UniformInt(0, kNumCrashPhases - 1));
+      schedule.scheduler_crashes.push_back({t, phase});
+      t += std::max<SimTime>(
+          1, static_cast<SimTime>(std::llround(
+                 crash_rng.Exponential(params.scheduler_crash_mtbf))));
     }
   }
 

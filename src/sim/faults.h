@@ -41,6 +41,48 @@ struct StragglerEvent {
   bool operator==(const StragglerEvent& other) const = default;
 };
 
+// Phase of one scheduling cycle at which an injected scheduler crash fires
+// (DESIGN.md §11). The first seven interrupt the cycle inside or around the
+// policy's OnCycle (via the span crash hook for the instrumented phases);
+// the last three land inside the simulator's two-phase commit sequence,
+// straddling the journal's intent/applied records.
+enum class CrashPhase : uint8_t {
+  kBeforeCycle = 0,  // cycle about to start; nothing journaled yet
+  kAvailability,     // scheduler.availability span
+  kStrlGen,          // scheduler.strl_gen span
+  kCompile,          // scheduler.compile span
+  kSolve,            // scheduler.solve span
+  kValidate,         // scheduler.validate span
+  kExtract,          // scheduler.commit span (allocation extraction)
+  kCommitIntent,     // kCommitIntent journaled, no mutation applied yet
+  kMidCommit,        // first placement applied, its kGangLaunch not journaled
+  kAfterCommit,      // kCommitApplied journaled; crash after a full commit
+};
+inline constexpr int kNumCrashPhases = 10;
+
+const char* ToString(CrashPhase phase);
+
+// Span name whose entry fires the crash for in-OnCycle phases; nullptr for
+// the simulator-side phases (kBeforeCycle/kCommitIntent/kMidCommit/
+// kAfterCommit), which crash at explicit points in the commit sequence.
+const char* CrashPhaseSpanName(CrashPhase phase);
+
+// Scheduler-process crash: fires at the first scheduling cycle whose time is
+// >= `at`, at the given phase. The simulator then discards the scheduler
+// (policy, Rayon agenda, retry/backoff, estimator) and rebuilds it from the
+// persistence subsystem; cluster ground truth survives (work-preserving
+// restart).
+struct SchedulerCrashEvent {
+  SimTime at = 0;
+  CrashPhase phase = CrashPhase::kBeforeCycle;
+
+  bool operator==(const SchedulerCrashEvent& other) const = default;
+};
+
+// Thrown by an armed crash point; caught only by the simulator's recovery
+// harness. Carrying no state by design: a real crash preserves nothing.
+struct SchedulerCrashSignal {};
+
 // Validates and normalizes a failure list before the run starts: drops
 // entries with `recover_at <= at`, out-of-range node ids, and entries
 // overlapping an earlier failure of the same node. Returns the surviving
@@ -73,6 +115,11 @@ struct FaultModelParams {
   double straggler_prob = 0.0;
   double straggler_slowdown = 2.0;
 
+  // Scheduler-process crashes arrive with mean gap `scheduler_crash_mtbf`
+  // seconds (0 disables); each crash's cycle phase is drawn uniformly over
+  // all CrashPhases.
+  double scheduler_crash_mtbf = 0.0;
+
   // Safety cap on events per node (runaway-parameter guard).
   int max_failures_per_node = 10000;
 };
@@ -80,6 +127,7 @@ struct FaultModelParams {
 struct FaultSchedule {
   std::vector<NodeFailure> failures;      // normalized, sorted by (at, node)
   std::vector<StragglerEvent> stragglers; // sorted by (at, node)
+  std::vector<SchedulerCrashEvent> scheduler_crashes;  // sorted by at
 };
 
 // Deterministically expands the stochastic model into concrete event lists.

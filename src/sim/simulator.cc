@@ -1,19 +1,23 @@
 #include "src/sim/simulator.h"
 
 #include <algorithm>
+#include <chrono>
 #include <cmath>
 #include <cstdlib>
-#include <fstream>
 #include <map>
+#include <memory>
 #include <queue>
 #include <set>
 #include <sstream>
 
 #include "src/cluster/ledger.h"
 #include "src/core/estimator.h"
+#include "src/core/plan_check.h"
+#include "src/common/atomic_io.h"
 #include "src/common/logging.h"
 #include "src/common/metrics.h"
 #include "src/common/span.h"
+#include "src/persist/journal.h"
 
 namespace tetrisched {
 
@@ -125,6 +129,7 @@ struct SimInstruments {
   Counter* retries_exhausted;
   Counter* jobs_completed;
   Counter* jobs_dropped;
+  Counter* scheduler_crashes;
 };
 
 SimInstruments& Instruments() {
@@ -144,17 +149,17 @@ SimInstruments& Instruments() {
       registry.GetCounter("tetrisched_sim_retries_exhausted_total"),
       registry.GetCounter("tetrisched_sim_jobs_completed_total"),
       registry.GetCounter("tetrisched_sim_jobs_dropped_total"),
+      registry.GetCounter("tetrisched_sim_scheduler_crashes_total"),
   };
   return instruments;
 }
 
 void WriteFileOrWarn(const std::string& path, const std::string& content) {
-  std::ofstream out(path, std::ios::trunc);
-  if (!out) {
-    TETRI_LOG(kWarning) << "cannot open " << path << " for export";
-    return;
+  // Crash-atomic: a run dying mid-export must never leave a truncated
+  // artifact where consumers expect a complete one.
+  if (!WriteFileAtomic(path, content)) {
+    TETRI_LOG(kWarning) << "cannot write export " << path;
   }
-  out << content;
 }
 
 }  // namespace
@@ -262,6 +267,49 @@ SimMetrics Simulator::Run() {
   std::vector<SimTime> eligible_at(n, 0);
   std::vector<SimTime> last_kill(n, -1);
 
+  // Persistence and scheduler-crash harness (DESIGN.md §11). The active
+  // policy is held by pointer so recovery can swap in a freshly built one.
+  SchedulerPolicy* policy = &policy_;
+  std::unique_ptr<SchedulerPolicy> owned_policy;
+  std::vector<SchedulerCrashEvent> crashes = config_.scheduler_crashes;
+  std::stable_sort(crashes.begin(), crashes.end(),
+                   [](const SchedulerCrashEvent& a,
+                      const SchedulerCrashEvent& b) { return a.at < b.at; });
+  size_t next_crash = 0;
+  std::unique_ptr<PersistenceManager> owned_persist;
+  PersistenceManager* persist = config_.persist;
+  if (persist == nullptr && !crashes.empty()) {
+    // Crashes need a journal to recover from; default to an in-memory one.
+    owned_persist = std::make_unique<PersistenceManager>(
+        std::make_unique<MemoryJournalStorage>());
+    persist = owned_persist.get();
+  }
+
+  // Shadow image of the journal: every append is mirrored through
+  // ApplyEvent, so `image` is by construction exactly what Recover() would
+  // reconstruct and can be checkpointed at any consistent point.
+  RecoveredState image;
+  auto durable = [&](const DurableEvent& event) {
+    if (persist == nullptr) {
+      return;
+    }
+    persist->Append(event);
+    ApplyEvent(image, event);
+  };
+  if (persist != nullptr) {
+    if (config_.rayon != nullptr) {
+      image.rayon = config_.rayon->ExportState();
+    }
+    for (const Job& job : jobs_) {
+      if (job.slo_class != SloClass::kBestEffort || job.wants_reservation) {
+        image.slo[job.id] = SloRecord{
+            job.id, static_cast<uint8_t>(job.slo_class), job.reservation};
+      }
+    }
+    image.policy_state = policy->ExportDurableState();
+    persist->Checkpoint(image);
+  }
+
   int next_arrival = 0;
   int outstanding = n;  // not yet completed/dropped
   SimTime now = 0;
@@ -274,6 +322,156 @@ SimMetrics Simulator::Run() {
     busy_node_seconds += static_cast<double>(busy_nodes) *
                          static_cast<double>(t - last_event);
     last_event = t;
+  };
+
+  // Crash + recovery: the scheduler process dies, losing all RM-side state
+  // (policy internals, Rayon agenda, retry/backoff, estimator). Cluster
+  // ground truth — the ledger, running gangs, the jobs themselves — survives
+  // (work-preserving restart). Recovery rebuilds the RM view from snapshot +
+  // journal replay, reconciles it against the surviving cluster, re-validates
+  // it, and checkpoints the reconciled image so the journal restarts clean.
+  auto recover_scheduler = [&](CrashPhase phase) {
+    auto wall_start = std::chrono::steady_clock::now();
+    ++metrics.scheduler_crashes;
+    sim_ins.scheduler_crashes->Increment();
+    trace({now, TraceEventKind::kSchedulerCrash, -1, -1,
+           static_cast<int32_t>(phase)});
+    TETRI_LOG(kInfo) << "scheduler crash injected at t=" << now << " (phase "
+                     << ToString(phase) << "); recovering";
+
+    RecoveryResult rec = persist->Recover();
+    RecoveredState st = std::move(rec.state);
+
+    // 1. Rayon admission agenda.
+    if (config_.rayon != nullptr) {
+      config_.rayon->Restore(st.rayon);
+    }
+    // 2. SLO classes/reservations mutated since admission (re-admissions).
+    for (const auto& [id, slo] : st.slo) {
+      auto it = index.find(id);
+      if (it == index.end()) {
+        continue;
+      }
+      jobs_[it->second].slo_class = static_cast<SloClass>(slo.slo_class);
+      jobs_[it->second].reservation = slo.reservation;
+    }
+    // 3. Retry/backoff state.
+    for (const auto& [id, retry] : st.retries) {
+      auto it = index.find(id);
+      if (it == index.end()) {
+        continue;
+      }
+      eligible_at[it->second] = retry.eligible_at;
+      last_kill[it->second] = retry.last_kill;
+    }
+    // 4. Runtime estimator: retrained from the journaled completion stream
+    //    in original observation order.
+    if (config_.learn_estimates) {
+      estimator = RuntimeEstimator();
+      for (const CompletionRecord& completion : st.completions) {
+        auto it = index.find(completion.job);
+        if (it != index.end()) {
+          estimator.Observe(jobs_[it->second], completion.preferred,
+                            completion.runtime);
+        }
+      }
+    }
+    // 5. Reconcile the recovered RM view against cluster ground truth. A
+    //    gang the cluster runs but the journal never confirmed must come
+    //    from a commit interrupted between mutation and its kGangLaunch
+    //    record — adopt it from the pending intent.
+    for (const auto& [id, run] : running) {
+      if (st.running.count(id) != 0) {
+        continue;
+      }
+      GangRecord gang;
+      bool adopted = false;
+      if (st.pending_intent.has_value()) {
+        for (const GangRecord& g : st.pending_intent->gangs) {
+          if (g.job == id) {
+            gang = g;
+            adopted = true;
+            break;
+          }
+        }
+      }
+      if (adopted) {
+        ++metrics.recovery_adoptions;
+      } else {
+        ++metrics.recovery_mismatches;
+        TETRI_LOG(kWarning)
+            << "recovery: adopting unjournaled running gang of job " << id
+            << " from cluster ground truth";
+        gang.job = id;
+        gang.counts = run.counts;
+        gang.start = run.start;
+        gang.expected_end = run.expected_end;
+        gang.est_duration = run.expected_end - run.start;
+      }
+      st.running[id] = std::move(gang);
+    }
+    for (auto it = st.running.begin(); it != st.running.end();) {
+      if (running.count(it->first) == 0) {
+        ++metrics.recovery_mismatches;
+        TETRI_LOG(kWarning) << "recovery: journal believes job " << it->first
+                            << " is running but the cluster does not";
+        it = st.running.erase(it);
+      } else {
+        ++it;
+      }
+    }
+    st.pending_intent.reset();
+
+    // 6. Fresh scheduler process: rebuild the policy, import durable state.
+    if (config_.policy_factory) {
+      owned_policy = config_.policy_factory();
+      policy = owned_policy.get();
+    }
+    policy->ImportDurableState(st.policy_state);
+
+    // 7. Post-recovery validation: the recovered running set, re-checked as
+    //    a plan against full capacity minus failed nodes. Zero violations is
+    //    the recovery invariant.
+    std::vector<const Job*> believed_running;
+    std::vector<Placement> recovered_plan;
+    for (const auto& [id, gang] : st.running) {
+      believed_running.push_back(&jobs_[index[id]]);
+      Placement placement;
+      placement.job = id;
+      placement.counts = gang.counts;
+      placement.est_duration = gang.est_duration;
+      recovered_plan.push_back(std::move(placement));
+    }
+    std::vector<RunningHold> failed_holds;
+    for (const auto& [node, recover_at] : failed_nodes) {
+      RunningHold hold;
+      hold.job = -1000 - node;
+      hold.counts[cluster_.partition_of(node)] = 1;
+      hold.expected_end = recover_at;
+      failed_holds.push_back(std::move(hold));
+    }
+    for (const PlanViolation& violation : ValidatePlan(
+             cluster_, believed_running, failed_holds, recovered_plan)) {
+      ++metrics.validator_violations;
+      sim_ins.validator_violations->Increment();
+      TETRI_LOG(kWarning) << "post-recovery validation: job " << violation.job
+                          << ": " << violation.reason;
+    }
+
+    // 8. The reconciled image is the new checkpoint; the journal restarts
+    //    empty, so a crash during recovery replays to the same state.
+    image = std::move(st);
+    image.checkpoint_time = now;
+    persist->Checkpoint(image);
+
+    ++metrics.recoveries;
+    metrics.journal_replayed += rec.replayed;
+    metrics.journal_dropped += rec.dropped;
+    double ms = std::chrono::duration<double, std::milli>(
+                    std::chrono::steady_clock::now() - wall_start)
+                    .count();
+    metrics.recovery_ms.Add(ms);
+    trace({now, TraceEventKind::kRecover, -1, -1, rec.replayed, ms});
   };
 
   while (outstanding > 0 && now <= config_.max_time) {
@@ -322,6 +520,15 @@ SimMetrics Simulator::Run() {
                           time - it->second.start);
       }
       int released = static_cast<int>(it->second.nodes.size());
+      if (persist != nullptr) {
+        DurableEvent complete;
+        complete.kind = DurableEventKind::kGangComplete;
+        complete.time = time;
+        complete.job = id;
+        complete.preferred = metrics.outcomes[i].preferred;
+        complete.runtime = time - it->second.start;
+        durable(complete);
+      }
       running.erase(it);
       state[i] = JobState::kCompleted;
       metrics.outcomes[i].completed = true;
@@ -378,6 +585,13 @@ SimMetrics Simulator::Run() {
             sim_ins.retries_exhausted->Increment();
             sim_ins.jobs_dropped->Increment();
             trace({now, TraceEventKind::kDrop, victim});
+            if (persist != nullptr) {
+              DurableEvent drop;
+              drop.kind = DurableEventKind::kJobDropped;
+              drop.time = now;
+              drop.job = victim;
+              durable(drop);
+            }
             --outstanding;
             break;
           }
@@ -390,6 +604,15 @@ SimMetrics Simulator::Run() {
                                    << std::min(outcome.retries - 1, 30));
           }
           eligible_at[i] = now + backoff;
+          if (persist != nullptr) {
+            DurableEvent kill;
+            kill.kind = DurableEventKind::kGangKill;
+            kill.time = now;
+            kill.job = victim;
+            kill.retries = outcome.retries;
+            kill.eligible_at = eligible_at[i];
+            durable(kill);
+          }
 
           // Shrink-or-drop re-admission: an accepted-SLO gang whose
           // reserved slot can no longer start on time gets one shot at a
@@ -401,6 +624,15 @@ SimMetrics Simulator::Run() {
               job.slo_class == SloClass::kSloAccepted &&
               job.reservation.start < eligible_at[i]) {
             config_.rayon->Release(job.reservation, job.k);
+            if (persist != nullptr) {
+              DurableEvent release;
+              release.kind = DurableEventKind::kRayonRelease;
+              release.time = now;
+              release.job = job.id;
+              release.k = job.k;
+              release.interval = job.reservation;
+              durable(release);
+            }
             RdlRequest request;
             request.requester = job.id;
             request.k = job.k;
@@ -417,6 +649,23 @@ SimMetrics Simulator::Run() {
               job.reservation = {0, 0};
               outcome.reservation_dropped = true;
               ++metrics.reservations_dropped;
+            }
+            if (persist != nullptr) {
+              DurableEvent admit;
+              admit.kind = redo.accepted ? DurableEventKind::kRayonAdmit
+                                         : DurableEventKind::kRayonReject;
+              admit.time = now;
+              admit.job = job.id;
+              admit.k = job.k;
+              admit.interval = redo.interval;
+              durable(admit);
+              DurableEvent slo;
+              slo.kind = DurableEventKind::kSloUpdate;
+              slo.time = now;
+              slo.job = job.id;
+              slo.slo_class = static_cast<uint8_t>(job.slo_class);
+              slo.interval = job.reservation;
+              durable(slo);
             }
           }
           break;
@@ -465,6 +714,19 @@ SimMetrics Simulator::Run() {
     }
     next_cycle = now + config_.cycle_period;
 
+    // At most one injected scheduler crash per cycle, at its scheduled
+    // phase. A kBeforeCycle crash loses nothing uncommitted, so recovery
+    // runs first and the cycle then proceeds on the rebuilt scheduler.
+    const SchedulerCrashEvent* crash = nullptr;
+    if (persist != nullptr && next_crash < crashes.size() &&
+        crashes[next_crash].at <= now) {
+      crash = &crashes[next_crash++];
+      if (crash->phase == CrashPhase::kBeforeCycle) {
+        recover_scheduler(crash->phase);
+        crash = nullptr;
+      }
+    }
+
     // Build the policy's view.
     std::vector<const Job*> pending;
     for (int i = 0; i < n; ++i) {
@@ -504,139 +766,249 @@ SimMetrics Simulator::Run() {
                        run.counts, run.expected_end});
     }
 
-    SchedulerPolicy::Decision decision = policy_.OnCycle(now, pending, holds);
-    trace({now, TraceEventKind::kCycle, -1, -1,
-           static_cast<int32_t>(pending.size()),
-           decision.stats.cycle_seconds * 1e3});
-    sim_ins.cycles->Increment();
-    sim_ins.pending_depth->Observe(static_cast<double>(pending.size()));
-    metrics.cycle_latency_ms.Add(decision.stats.cycle_seconds * 1e3);
-    metrics.solver_latency_ms.Add(decision.stats.solver_seconds * 1e3);
-    if (decision.stats.milp_vars > 0) {
-      metrics.milp_vars.Add(decision.stats.milp_vars);
-    }
-    if (decision.stats.used_fallback) {
-      ++metrics.fallback_cycles;
-      sim_ins.fallback_cycles->Increment();
-      // `count` carries the degradation-ladder rung that produced the plan
-      // (1 = greedy first-fit, 2 = skip), not a placement count.
-      trace({now, TraceEventKind::kFallback, -1, -1,
-             decision.stats.ladder_rung});
-    }
-    metrics.validator_violations += decision.stats.validator_rejects;
-    sim_ins.validator_violations->Increment(decision.stats.validator_rejects);
+    try {
+      // In-OnCycle crash phases fire from the span hook: the first entry
+      // into the targeted phase's span on this thread throws.
+      const char* crash_span =
+          crash != nullptr ? CrashPhaseSpanName(crash->phase) : nullptr;
+      if (crash_span != nullptr) {
+        span_internal::ArmSpanCrashHook(crash_span,
+                                        [] { throw SchedulerCrashSignal{}; });
+      }
+      SchedulerPolicy::Decision decision =
+          policy->OnCycle(now, pending, holds);
+      if (crash_span != nullptr && span_internal::SpanCrashHookArmed()) {
+        // The targeted phase never ran this cycle (the degradation ladder
+        // can skip phases); the crash still fires, before the commit.
+        span_internal::DisarmSpanCrashHook();
+        throw SchedulerCrashSignal{};
+      }
+      trace({now, TraceEventKind::kCycle, -1, -1,
+             static_cast<int32_t>(pending.size()),
+             decision.stats.cycle_seconds * 1e3});
+      sim_ins.cycles->Increment();
+      sim_ins.pending_depth->Observe(static_cast<double>(pending.size()));
+      metrics.cycle_latency_ms.Add(decision.stats.cycle_seconds * 1e3);
+      metrics.solver_latency_ms.Add(decision.stats.solver_seconds * 1e3);
+      if (decision.stats.milp_vars > 0) {
+        metrics.milp_vars.Add(decision.stats.milp_vars);
+      }
+      if (decision.stats.used_fallback) {
+        ++metrics.fallback_cycles;
+        sim_ins.fallback_cycles->Increment();
+        // `count` carries the degradation-ladder rung that produced the plan
+        // (1 = greedy first-fit, 2 = skip), not a placement count.
+        trace({now, TraceEventKind::kFallback, -1, -1,
+               decision.stats.ladder_rung});
+      }
+      metrics.validator_violations += decision.stats.validator_rejects;
+      sim_ins.validator_violations->Increment(
+          decision.stats.validator_rejects);
 
-    // Preemptions first (they free capacity the placements may rely on).
-    for (JobId id : decision.preempt) {
-      auto it = running.find(id);
-      if (it == running.end()) {
-        continue;
+      // Two-phase commit (DESIGN.md §11): journal the cycle's full intent
+      // before any cluster mutation, journal each mutation after it lands,
+      // and close with kCommitApplied carrying the policy's durable state.
+      // A crash anywhere in between leaves an open intent that recovery
+      // reconciles against what actually reached the cluster.
+      if (persist != nullptr) {
+        DurableEvent intent;
+        intent.kind = DurableEventKind::kCommitIntent;
+        intent.time = now;
+        for (const Placement& placement : decision.start_now) {
+          GangRecord gang;
+          gang.job = placement.job;
+          gang.counts = placement.counts;
+          gang.start = now;
+          gang.expected_end = now + placement.est_duration;
+          gang.est_duration = placement.est_duration;
+          intent.gangs.push_back(std::move(gang));
+        }
+        intent.drops = decision.drop;
+        intent.preempts = decision.preempt;
+        durable(intent);
       }
-      int i = index[id];
-      ledger.Release(it->second.nodes);
-      busy_nodes -= static_cast<int>(it->second.nodes.size());
-      trace({now, TraceEventKind::kPreempt, id, -1,
-             static_cast<int32_t>(it->second.nodes.size())});
-      running.erase(it);
-      state[i] = JobState::kPending;  // restarts from scratch
-      ++metrics.outcomes[i].preemptions;
-      ++metrics.preemptions;
-      sim_ins.preemptions->Increment();
-    }
+      if (crash != nullptr && crash->phase == CrashPhase::kCommitIntent) {
+        throw SchedulerCrashSignal{};
+      }
 
-    for (JobId id : decision.drop) {
-      auto it = index.find(id);
-      if (it == index.end() || state[it->second] != JobState::kPending) {
-        continue;
-      }
-      state[it->second] = JobState::kDropped;
-      metrics.outcomes[it->second].dropped = true;
-      trace({now, TraceEventKind::kDrop, id});
-      sim_ins.jobs_dropped->Increment();
-      --outstanding;
-    }
-
-    for (const Placement& placement : decision.start_now) {
-      // Last line of defense: the scheduler's own ValidatePlan should have
-      // caught malformed placements, but a buggy policy must never corrupt
-      // the ledger — reject the placement, count it, and keep running.
-      auto reject = [&](const char* why) {
-        ++metrics.validator_violations;
-        sim_ins.validator_violations->Increment();
-        trace({now, TraceEventKind::kPlanReject, placement.job});
-        TETRI_LOG(kWarning) << "rejected placement of job " << placement.job
-                            << ": " << why;
-      };
-      auto it = index.find(placement.job);
-      if (it == index.end()) {
-        reject("unknown job id");
-        continue;
-      }
-      int i = it->second;
-      if (state[i] != JobState::kPending) {
-        reject("job is not pending");
-        continue;
-      }
-      const Job& job = jobs_[i];
-      // Availability-type jobs may legitimately place fewer tasks than k
-      // (one per rack); everything else is an exact gang.
-      if (placement.total_nodes() < 1 || placement.total_nodes() > job.k) {
-        reject("gang size out of range");
-        continue;
-      }
-      bool fits = true;
-      for (const auto& [partition, count] : placement.counts) {
-        if (partition < 0 || partition >= cluster_.num_partitions() ||
-            count < 0 || count > ledger.free_in_partition(partition)) {
-          fits = false;
-          break;
+      // Preemptions first (they free capacity the placements may rely on).
+      for (JobId id : decision.preempt) {
+        auto it = running.find(id);
+        if (it == running.end()) {
+          continue;
+        }
+        int i = index[id];
+        ledger.Release(it->second.nodes);
+        busy_nodes -= static_cast<int>(it->second.nodes.size());
+        trace({now, TraceEventKind::kPreempt, id, -1,
+               static_cast<int32_t>(it->second.nodes.size())});
+        running.erase(it);
+        state[i] = JobState::kPending;  // restarts from scratch
+        ++metrics.outcomes[i].preemptions;
+        ++metrics.preemptions;
+        sim_ins.preemptions->Increment();
+        if (persist != nullptr) {
+          DurableEvent preempt;
+          preempt.kind = DurableEventKind::kGangPreempt;
+          preempt.time = now;
+          preempt.job = id;
+          durable(preempt);
         }
       }
-      if (!fits) {
-        reject("exceeds free partition capacity");
-        continue;
+
+      for (JobId id : decision.drop) {
+        auto it = index.find(id);
+        if (it == index.end() || state[it->second] != JobState::kPending) {
+          continue;
+        }
+        state[it->second] = JobState::kDropped;
+        metrics.outcomes[it->second].dropped = true;
+        trace({now, TraceEventKind::kDrop, id});
+        sim_ins.jobs_dropped->Increment();
+        --outstanding;
+        if (persist != nullptr) {
+          DurableEvent drop;
+          drop.kind = DurableEventKind::kJobDropped;
+          drop.time = now;
+          drop.job = id;
+          durable(drop);
+        }
       }
 
-      RunningJob run;
-      run.counts = placement.counts;
-      for (const auto& [partition, count] : placement.counts) {
-        std::vector<NodeId> nodes = ledger.Acquire(partition, count);
-        run.nodes.insert(run.nodes.end(), nodes.begin(), nodes.end());
-      }
-      busy_nodes += static_cast<int>(run.nodes.size());
+      bool first_placement = true;
+      for (const Placement& placement : decision.start_now) {
+        // Last line of defense: the scheduler's own ValidatePlan should have
+        // caught malformed placements, but a buggy policy must never corrupt
+        // the ledger — reject the placement, count it, and keep running.
+        auto reject = [&](const char* why) {
+          ++metrics.validator_violations;
+          sim_ins.validator_violations->Increment();
+          trace({now, TraceEventKind::kPlanReject, placement.job});
+          TETRI_LOG(kWarning) << "rejected placement of job " << placement.job
+                              << ": " << why;
+        };
+        auto it = index.find(placement.job);
+        if (it == index.end()) {
+          reject("unknown job id");
+          continue;
+        }
+        int i = it->second;
+        if (state[i] != JobState::kPending) {
+          reject("job is not pending");
+          continue;
+        }
+        const Job& job = jobs_[i];
+        // Availability-type jobs may legitimately place fewer tasks than k
+        // (one per rack); everything else is an exact gang.
+        if (placement.total_nodes() < 1 || placement.total_nodes() > job.k) {
+          reject("gang size out of range");
+          continue;
+        }
+        bool fits = true;
+        for (const auto& [partition, count] : placement.counts) {
+          if (partition < 0 || partition >= cluster_.num_partitions() ||
+              count < 0 || count > ledger.free_in_partition(partition)) {
+            fits = false;
+            break;
+          }
+        }
+        if (!fits) {
+          reject("exceeds free partition capacity");
+          continue;
+        }
 
-      // Ground truth runtime from the *actual* placement quality, stretched
-      // by any fail-slow episode active on the gang's nodes at start.
-      bool preferred = IsPreferredPlacement(cluster_, job, run.counts);
-      SimDuration actual = job.ActualRuntime(preferred);
-      double slow = straggle_factor(run.nodes);
-      if (slow > 1.0) {
-        actual = static_cast<SimDuration>(
-            std::llround(static_cast<double>(actual) * slow));
-        ++metrics.straggler_slowed_starts;
-      }
-      run.start = now;
-      run.actual_end = now + actual;
-      run.expected_end = now + placement.est_duration;
-      completions.push({run.actual_end, job.id});
-      running[job.id] = std::move(run);
+        RunningJob run;
+        run.counts = placement.counts;
+        for (const auto& [partition, count] : placement.counts) {
+          std::vector<NodeId> nodes = ledger.Acquire(partition, count);
+          run.nodes.insert(run.nodes.end(), nodes.begin(), nodes.end());
+        }
+        busy_nodes += static_cast<int>(run.nodes.size());
 
-      state[i] = JobState::kRunning;
-      trace({now, TraceEventKind::kStart, job.id, -1,
-             placement.total_nodes()});
-      JobOutcome& outcome = metrics.outcomes[i];
-      outcome.started = true;
-      if (outcome.start_time < 0) {
-        outcome.start_time = now;
+        // Ground truth runtime from the *actual* placement quality,
+        // stretched by any fail-slow episode active on the gang's nodes at
+        // start.
+        bool preferred = IsPreferredPlacement(cluster_, job, run.counts);
+        SimDuration actual = job.ActualRuntime(preferred);
+        double slow = straggle_factor(run.nodes);
+        if (slow > 1.0) {
+          actual = static_cast<SimDuration>(
+              std::llround(static_cast<double>(actual) * slow));
+          ++metrics.straggler_slowed_starts;
+        }
+        run.start = now;
+        run.actual_end = now + actual;
+        run.expected_end = now + placement.est_duration;
+        completions.push({run.actual_end, job.id});
+        running[job.id] = std::move(run);
+
+        state[i] = JobState::kRunning;
+        trace({now, TraceEventKind::kStart, job.id, -1,
+               placement.total_nodes()});
+        JobOutcome& outcome = metrics.outcomes[i];
+        outcome.started = true;
+        if (outcome.start_time < 0) {
+          outcome.start_time = now;
+        }
+        if (last_kill[i] >= 0) {
+          SimDuration gap = now - last_kill[i];
+          outcome.recovery_latency += gap;
+          metrics.recovery_latency.Add(static_cast<double>(gap));
+          last_kill[i] = -1;
+        }
+        outcome.preferred = preferred;
+        outcome.placement = placement.counts;
+
+        if (first_placement) {
+          first_placement = false;
+          // kMidCommit: the cluster mutation landed but its kGangLaunch
+          // record did not — recovery must adopt this gang from the open
+          // commit intent.
+          if (crash != nullptr && crash->phase == CrashPhase::kMidCommit) {
+            throw SchedulerCrashSignal{};
+          }
+        }
+        if (persist != nullptr) {
+          DurableEvent launch;
+          launch.kind = DurableEventKind::kGangLaunch;
+          launch.time = now;
+          launch.job = job.id;
+          launch.gang.job = job.id;
+          launch.gang.counts = placement.counts;
+          launch.gang.start = now;
+          launch.gang.expected_end = now + placement.est_duration;
+          launch.gang.est_duration = placement.est_duration;
+          durable(launch);
+        }
       }
-      if (last_kill[i] >= 0) {
-        SimDuration gap = now - last_kill[i];
-        outcome.recovery_latency += gap;
-        metrics.recovery_latency.Add(static_cast<double>(gap));
-        last_kill[i] = -1;
+
+      if (crash != nullptr && crash->phase == CrashPhase::kMidCommit &&
+          first_placement) {
+        // Nothing was placed this cycle, so no launch fired the crash; it
+        // still lands inside the commit window, before kCommitApplied.
+        throw SchedulerCrashSignal{};
       }
-      outcome.preferred = preferred;
-      outcome.placement = placement.counts;
+
+      if (persist != nullptr) {
+        // kCommitApplied closes the cycle even when nothing was placed, so
+        // a stale warm-start blob never outlives the cycle that cleared it.
+        DurableEvent applied;
+        applied.kind = DurableEventKind::kCommitApplied;
+        applied.time = now;
+        applied.blob = policy->ExportDurableState();
+        durable(applied);
+        image.checkpoint_time = now;
+        persist->MaybeCheckpoint(image);
+      }
+      if (crash != nullptr && crash->phase == CrashPhase::kAfterCommit) {
+        throw SchedulerCrashSignal{};
+      }
+    } catch (const SchedulerCrashSignal&) {
+      // The cycle died mid-flight. Ground-truth mutations that already
+      // landed stand; recovery rebuilds the RM view around them, and the
+      // unapplied remainder of this cycle's plan is replanned next period.
+      recover_scheduler(crash != nullptr ? crash->phase
+                                         : CrashPhase::kBeforeCycle);
     }
   }
 
@@ -743,6 +1115,12 @@ std::string SimMetrics::Summary() const {
         << reservations_dropped << " reservations dropped, "
         << fallback_cycles << " fallback cycles, " << validator_violations
         << " validator violations";
+  }
+  if (scheduler_crashes > 0) {
+    out << "; crashes: " << scheduler_crashes << " injected, " << recoveries
+        << " recoveries, " << journal_replayed << " records replayed, "
+        << journal_dropped << " dropped, " << recovery_adoptions
+        << " adoptions, " << recovery_mismatches << " mismatches";
   }
   return out.str();
 }

@@ -15,6 +15,8 @@
 #ifndef TETRISCHED_SIM_SIMULATOR_H_
 #define TETRISCHED_SIM_SIMULATOR_H_
 
+#include <functional>
+#include <memory>
 #include <string>
 #include <vector>
 
@@ -22,6 +24,7 @@
 #include "src/common/stats.h"
 #include "src/core/job.h"
 #include "src/core/policy.h"
+#include "src/persist/persist.h"
 #include "src/rayon/rayon.h"
 #include "src/sim/faults.h"
 #include "src/sim/trace.h"
@@ -36,6 +39,23 @@ struct SimConfig {
   // (bad entries are dropped with one warning each).
   std::vector<NodeFailure> node_failures;
   std::vector<StragglerEvent> stragglers;
+  // Scheduler-process crashes (faults.h): each fires at the first cycle at
+  // or after its `at`, at the given CrashPhase, and is followed by recovery
+  // from the persistence subsystem (snapshot load + journal replay +
+  // reconciliation against surviving cluster state). At most one crash
+  // fires per cycle.
+  std::vector<SchedulerCrashEvent> scheduler_crashes;
+  // Durability subsystem (persist.h). When set, the run journals every
+  // durable scheduler event (two-phase commits, Rayon agenda changes,
+  // kills/completions/drops) through it and recovers from it after an
+  // injected crash. Not owned. When crashes are configured without one, an
+  // in-memory journal is used automatically.
+  PersistenceManager* persist = nullptr;
+  // Builds the replacement policy after a crash (a real restart constructs
+  // a fresh scheduler process). The recovered durable state is imported
+  // into the new policy. When unset, the original policy object is reused
+  // (its durable state still reset from the journal).
+  std::function<std::unique_ptr<SchedulerPolicy>()> policy_factory;
   // Retry policy for failure-killed gangs: a killed gang re-enters the
   // pending queue after a capped exponential backoff
   // (min(retry_backoff_cap, retry_backoff << (kills-1)); 0 = immediate)
@@ -135,6 +155,15 @@ struct SimMetrics {
   int reservations_dropped = 0;   // reservations invalidated with no re-fit
   int straggler_slowed_starts = 0; // gangs started on >= 1 fail-slow node
   SampleStats recovery_latency;   // kill -> restart gap per retry (s)
+
+  // Scheduler-crash/persistence accounting (DESIGN.md §11).
+  int scheduler_crashes = 0;     // injected crashes that fired
+  int recoveries = 0;            // successful recovery passes
+  int journal_replayed = 0;      // journal records replayed across recoveries
+  int journal_dropped = 0;       // torn/corrupt tail records truncated away
+  int recovery_adoptions = 0;    // running gangs adopted from a pending intent
+  int recovery_mismatches = 0;   // RM-view vs cluster ground-truth conflicts
+  SampleStats recovery_ms;       // wall-clock per recovery pass (ms)
 
   // §6.3 success metrics. Fractions in [0,1]; 0 when the class is empty.
   double AcceptedSloAttainment() const;

@@ -33,6 +33,10 @@ const char* ToString(TraceEventKind kind) {
       return "plan-reject";
     case TraceEventKind::kCycle:
       return "cycle";
+    case TraceEventKind::kSchedulerCrash:
+      return "scheduler-crash";
+    case TraceEventKind::kRecover:
+      return "recover";
   }
   return "?";
 }

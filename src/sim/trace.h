@@ -31,6 +31,11 @@ enum class TraceEventKind {
   kFallback,
   kPlanReject,       // placement rejected by ledger validation, not committed
   kCycle,
+  // Scheduler-process crash injected at a CrashPhase (count = phase enum);
+  // kRecover marks the rebuilt scheduler resuming (count = journal records
+  // replayed, value = recovery latency in ms).
+  kSchedulerCrash,
+  kRecover,
 };
 
 const char* ToString(TraceEventKind kind);

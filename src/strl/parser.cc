@@ -8,6 +8,11 @@
 namespace tetrisched {
 namespace {
 
+// Hard recursion ceiling for nested operators. Parsing is recursive-descent,
+// so pathological inputs like "max(max(max(..." would otherwise exhaust the
+// stack; real generated expressions nest a handful of levels.
+constexpr int kMaxParseDepth = 64;
+
 class Parser {
  public:
   explicit Parser(std::string_view text) : text_(text) {}
@@ -231,6 +236,17 @@ class Parser {
   }
 
   std::optional<StrlExpr> ParseExpr() {
+    if (depth_ >= kMaxParseDepth) {
+      Fail("expression nested deeper than the limit of 64");
+      return std::nullopt;
+    }
+    ++depth_;
+    std::optional<StrlExpr> expr = ParseExprInner();
+    --depth_;
+    return expr;
+  }
+
+  std::optional<StrlExpr> ParseExprInner() {
     std::string word = ReadWord();
     if (word == "nCk") {
       return ParseLeaf(/*linear=*/false);
@@ -264,6 +280,7 @@ class Parser {
 
   std::string_view text_;
   size_t pos_ = 0;
+  int depth_ = 0;
   std::string error_;
   LeafTag next_tag_ = 1;
 };

@@ -3,6 +3,10 @@
 
 #include <gtest/gtest.h>
 
+#include <iterator>
+#include <random>
+#include <string>
+
 #include "src/cluster/availability.h"
 #include "src/compiler/compiler.h"
 #include "src/solver/milp.h"
@@ -122,6 +126,113 @@ INSTANTIATE_TEST_SUITE_P(
         BadInput{"nCk({p0}, k=1, s=0, dur=1, v=1) junk", "trailing input"},
         BadInput{"scale(x, nCk({p0}, k=1, s=0, dur=1, v=1))",
                  "expected number"}));
+
+// --- Hardening: depth limit, truncation, fuzz --------------------------------
+
+std::string Nested(const std::string& op_prefix, int levels,
+                   const std::string& leaf) {
+  std::string text;
+  for (int i = 0; i < levels; ++i) {
+    text += op_prefix;
+  }
+  text += leaf;
+  text.append(levels, ')');
+  return text;
+}
+
+TEST(ParserHardeningTest, DeeplyNestedInputFailsGracefully) {
+  // Recursive descent without a ceiling would blow the stack here.
+  std::string text =
+      Nested("scale(1.0, ", 5000, "nCk({p0}, k=1, s=0, dur=1, v=1)");
+  StrlParseResult result = ParseStrl(text);
+  EXPECT_FALSE(result.expr.has_value());
+  EXPECT_NE(result.error.find("nested deeper"), std::string::npos)
+      << "got: " << result.error;
+}
+
+TEST(ParserHardeningTest, NestingUnderTheLimitStillParses) {
+  std::string text =
+      Nested("scale(1.0, ", 50, "nCk({p0}, k=1, s=0, dur=1, v=1)");
+  StrlParseResult result = ParseStrl(text);
+  EXPECT_TRUE(result.expr.has_value()) << result.error;
+}
+
+TEST(ParserHardeningTest, UnbalancedOperatorRunHitsDepthLimitNotStack) {
+  // No closing parens at all: the parser must diagnose, not recurse forever.
+  std::string text;
+  for (int i = 0; i < 100000; ++i) {
+    text += "max(";
+  }
+  StrlParseResult result = ParseStrl(text);
+  EXPECT_FALSE(result.expr.has_value());
+  EXPECT_FALSE(result.error.empty());
+}
+
+const char* const kCorpus[] = {
+    "nCk({p0,p1}, k=2, s=10, dur=20, v=4.5)",
+    "LnCk({p3}, k=5, s=0, dur=8, v=10)",
+    "sum(max(nCk({p0}, k=1, s=0, dur=1, v=1), nCk({p1}, k=1, s=0, dur=1, "
+    "v=2)), min(nCk({p0}, k=1, s=0, dur=1, v=3), nCk({p1}, k=1, s=0, "
+    "dur=1, v=3)))",
+    "barrier(3, scale(2.5, nCk({p0}, k=1, s=0, dur=1, v=2)))",
+    "max(nCk({p0}, k=1, s=-5, dur=10, v=1), LnCk({p1,p2}, k=3, s=4, dur=6, "
+    "v=0.25))",
+};
+
+TEST(ParserHardeningTest, EveryPrefixOfValidInputFailsGracefully) {
+  for (const char* text : kCorpus) {
+    std::string full(text);
+    for (size_t cut = 0; cut < full.size(); ++cut) {
+      StrlParseResult result = ParseStrl(full.substr(0, cut));
+      if (!result.expr.has_value()) {
+        EXPECT_FALSE(result.error.empty())
+            << "silent failure on prefix of length " << cut;
+      }
+    }
+  }
+}
+
+TEST(ParserHardeningTest, SeededFuzzOverMutatedCorpusNeverCrashes) {
+  // Deterministic fuzz: random byte flips, insertions, deletions, and chunk
+  // duplications over valid corpus expressions. The parser must always
+  // either parse or return a diagnostic — never crash, hang, or throw.
+  std::mt19937 rng(0xC0FFEE);
+  int parsed = 0;
+  int rejected = 0;
+  for (int iter = 0; iter < 4000; ++iter) {
+    std::string text = kCorpus[rng() % std::size(kCorpus)];
+    int mutations = 1 + static_cast<int>(rng() % 8);
+    for (int m = 0; m < mutations && !text.empty(); ++m) {
+      size_t pos = rng() % text.size();
+      switch (rng() % 4) {
+        case 0:  // flip a byte (printable-ish range keeps tokens plausible)
+          text[pos] = static_cast<char>(' ' + rng() % 95);
+          break;
+        case 1:  // delete a byte
+          text.erase(pos, 1);
+          break;
+        case 2:  // insert a structural byte
+          text.insert(pos, 1, "(){},=.-0123456789maxsuminck"[rng() % 28]);
+          break;
+        case 3: {  // duplicate a random chunk
+          size_t len = 1 + rng() % 16;
+          text.insert(pos, text.substr(pos, len));
+          break;
+        }
+      }
+    }
+    StrlParseResult result = ParseStrl(text);
+    if (result.expr.has_value()) {
+      ++parsed;
+    } else {
+      ++rejected;
+      EXPECT_FALSE(result.error.empty()) << "silent failure on: " << text;
+    }
+  }
+  // Sanity: the mutator must exercise both outcomes.
+  EXPECT_GT(parsed, 0);
+  EXPECT_GT(rejected, 0);
+}
 
 }  // namespace
 }  // namespace tetrisched
