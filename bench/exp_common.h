@@ -53,6 +53,9 @@ struct ExperimentSpec {
   int milp_max_nodes = 1500;
   // Branch-and-bound workers per solve (0 = one per hardware thread).
   int milp_num_threads = 0;
+  // Component decomposition of the cycle MILP (solver/decompose.h). On by
+  // default; benches toggle it off for the monolithic baseline.
+  bool milp_decomposition = true;
   SimDuration cycle_period = 4;
 };
 

@@ -25,6 +25,8 @@ struct LatencyRow {
   SampleStats cycle_samples;
   double milp_vars_mean = 0.0;
   double milp_vars_max = 0.0;
+  double components_mean = 0.0;
+  double components_max = 0.0;
 };
 
 int Main() {
@@ -58,7 +60,25 @@ int Main() {
       rows[w][p].cycle_samples = metrics.cycle_latency_ms;
       rows[w][p].milp_vars_mean = metrics.milp_vars.Mean();
       rows[w][p].milp_vars_max = metrics.milp_vars.Max();
+      rows[w][p].components_mean = metrics.milp_components.Mean();
+      rows[w][p].components_max = metrics.milp_components.Max();
     }
+  }
+
+  // Decomposition on/off sweep (global policy only): identical workload and
+  // budgets, MilpOptions::enable_decomposition toggled off for the
+  // monolithic baseline. Same 10% gap on both sides, so the wall-clock
+  // delta is pure search-tree savings (solver/decompose.h).
+  LatencyRow mono_rows[5];
+  for (int w = 0; w < 5; ++w) {
+    ExperimentSpec spec;
+    spec.policy = PolicyKind::kTetriSched;
+    spec.plan_ahead = plan_aheads[w];
+    spec.milp_time_limit = 0.5;
+    spec.milp_decomposition = false;
+    SimMetrics metrics = RunExperiment(cluster, params, spec);
+    mono_rows[w].solver_ms = metrics.solver_latency_ms.Mean();
+    mono_rows[w].cycle_ms = metrics.cycle_latency_ms.Mean();
   }
 
   std::printf("\n(a) mean solver latency (ms)\n");
@@ -98,6 +118,22 @@ int Main() {
                 rows[w][0].milp_vars_mean, rows[w][0].milp_vars_max);
   }
 
+  std::printf("\n(e) solver decomposition on/off, global policy "
+              "(mean solver ms at equal 10%% gap)\n");
+  std::printf("%14s %12s %12s %10s %18s\n", "plan-ahead(s)", "decomposed",
+              "monolithic", "speedup", "components mean/max");
+  for (int w = 0; w < 5; ++w) {
+    double speedup = rows[w][0].solver_ms > 0.0
+                         ? mono_rows[w].solver_ms / rows[w][0].solver_ms
+                         : 1.0;
+    std::printf("%14lld %12s %12s %9sx %12.1f / %.0f\n",
+                static_cast<long long>(plan_aheads[w]),
+                Fixed(rows[w][0].solver_ms, 2).c_str(),
+                Fixed(mono_rows[w].solver_ms, 2).c_str(),
+                Fixed(speedup, 2).c_str(), rows[w][0].components_mean,
+                rows[w][0].components_max);
+  }
+
   // Machine-readable record of the latency sweep (see bench/bench_json.h).
   BenchJsonWriter writer;
   const char* policy_names[] = {"tetrisched", "tetrisched_ng"};
@@ -108,8 +144,14 @@ int Main() {
                      "_" + policy_names[p],
                  rows[w][p].solver_ms,
                  {{"cycle_ms", rows[w][p].cycle_ms},
-                  {"milp_vars_mean", rows[w][p].milp_vars_mean}});
+                  {"milp_vars_mean", rows[w][p].milp_vars_mean},
+                  {"components_mean", rows[w][p].components_mean},
+                  {"components_max", rows[w][p].components_max}});
     }
+    writer.Add("fig12_solver_ms_pa" +
+                   std::to_string(static_cast<long long>(plan_aheads[w])) +
+                   "_tetrisched_monolithic",
+               mono_rows[w].solver_ms, {{"cycle_ms", mono_rows[w].cycle_ms}});
   }
   writer.WriteIfRequested("BENCH_fig12.json");
   return 0;

@@ -6,6 +6,7 @@
 #include <string>
 
 #include "src/common/logging.h"
+#include "src/common/metrics.h"
 
 namespace tetrisched {
 
@@ -237,7 +238,26 @@ CompiledStrl StrlCompiler::Compile(const StrlExpr& root) {
   VarId root_i = StrlCompileAccess::model(out).AddBinaryVar("root");
   StrlCompileAccess::root(out) = root_i;
 
-  std::vector<LinTerm> objective = Gen(ctx, root, root_i);
+  std::vector<LinTerm> objective;
+  if (root.kind == StrlKind::kSum) {
+    // A top-level SUM (the aggregate objective: one child per pending job) is
+    // compiled without its gate row. The gate `sum I_child - n * I_root <= 0`
+    // is vacuous at the root — the free root indicator can always be 1, SUM
+    // admits any child subset, and the root carries no objective weight — but
+    // it stitches every job subtree into one connected component. Dropping it
+    // is exact and lets jobs that share no supply row split into independent
+    // sub-MILPs (see solver/decompose.h).
+    MilpModel& model = StrlCompileAccess::model(out);
+    ctx.indicator_chain.push_back(root_i);
+    for (const StrlExpr& child : root.children) {
+      VarId child_i = model.AddBinaryVar();
+      std::vector<LinTerm> child_obj = Gen(ctx, child, child_i);
+      objective.insert(objective.end(), child_obj.begin(), child_obj.end());
+    }
+    ctx.indicator_chain.pop_back();
+  } else {
+    objective = Gen(ctx, root, root_i);
+  }
   for (const LinTerm& term : objective) {
     StrlCompileAccess::model(out).AddObjectiveTerm(term.var, term.coeff);
   }
@@ -286,6 +306,19 @@ std::vector<StrlAllocation> CompiledStrl::ExtractAllocations(
   return allocations;
 }
 
+std::vector<VarId> CompiledStrl::LeafVars(int leaf) const {
+  const LeafInfo& info = leaves_[leaf];
+  std::vector<VarId> vars;
+  vars.reserve(1 + info.partition_vars.size());
+  vars.push_back(info.indicator);
+  for (VarId p : info.partition_vars) {
+    if (p >= 0) {  // -1: collapsed single-partition leaf, P == k * I
+      vars.push_back(p);
+    }
+  }
+  return vars;
+}
+
 std::vector<double> CompiledStrl::BuildWarmStart(
     const LeafGrants& grants) const {
   std::vector<double> values(model_.num_vars(), 0.0);
@@ -293,6 +326,21 @@ std::vector<double> CompiledStrl::BuildWarmStart(
   for (const auto& [tag, counts] : grants) {
     auto it = tag_to_leaf_.find(tag);
     if (it == tag_to_leaf_.end()) {
+      // The job set changed since the previous cycle (the granted leaf was
+      // not recompiled), so the whole hint is unusable and the solver starts
+      // cold. Keep warm-start efficacy visible: count every miss, log only
+      // on power-of-two totals so a churn-heavy workload cannot flood the
+      // log (BuildWarmStart bails on the first stale tag, so this fires at
+      // most once per cycle anyway).
+      static Counter* misses =
+          GlobalMetrics().GetCounter("tetrisched_warmstart_miss_total");
+      misses->Increment();
+      const int64_t total = misses->value();
+      if ((total & (total - 1)) == 0) {
+        TETRI_LOG(kWarning) << "warm-start miss: previous-cycle leaf tag "
+                            << tag << " absent from the compiled model ("
+                            << total << " misses total)";
+      }
       return {};
     }
     const LeafInfo& leaf = leaves_[it->second];

@@ -54,6 +54,14 @@ class CompiledStrl {
 
   int num_leaves() const { return static_cast<int>(leaves_.size()); }
 
+  // Model variables owned exclusively by leaf `leaf` (its choice indicator
+  // plus any per-partition count variables). With the solver's decomposition
+  // layer (solver/decompose.h), a component's jobs are recovered by mapping
+  // each leaf's variables to their component id.
+  std::vector<VarId> LeafVars(int leaf) const;
+
+  LeafTag leaf_tag(int leaf) const { return leaves_[leaf].tag; }
+
   // Maps a solver assignment back to the chosen space-time allocations.
   std::vector<StrlAllocation> ExtractAllocations(
       std::span<const double> values) const;

@@ -69,6 +69,10 @@ struct CycleStats {
   int milp_vars = 0;
   int milp_constraints = 0;
   int milp_nodes = 0;
+  // Solver decomposition breakdown (DESIGN.md §12): independent components
+  // of the cycle MILP (1 = monolithic) and wall-clock spent splitting it.
+  int milp_components = 1;
+  double decompose_ms = 0.0;
   int pending_count = 0;
   int scheduled_count = 0;
   int dropped_count = 0;

@@ -427,6 +427,8 @@ TetriScheduler::Decision TetriScheduler::GlobalCycle(
   }();
   decision.stats.solver_seconds = result.solve_seconds;
   decision.stats.milp_nodes = result.nodes;
+  decision.stats.milp_components = result.components;
+  decision.stats.decompose_ms = result.decompose_ms;
   decision.stats.solve_status = result.solve_status;
   previous_plan_.clear();
   if (!result.HasSolution()) {
@@ -514,6 +516,9 @@ TetriScheduler::Decision TetriScheduler::GreedyCycle(
     }();
     decision.stats.solver_seconds += result.solve_seconds;
     decision.stats.milp_nodes += result.nodes;
+    decision.stats.milp_components =
+        std::max(decision.stats.milp_components, result.components);
+    decision.stats.decompose_ms += result.decompose_ms;
     decision.stats.solve_status =
         WorstStatus(decision.stats.solve_status, result.solve_status);
     if (!result.HasSolution() || result.objective <= 0.0) {

@@ -792,6 +792,7 @@ SimMetrics Simulator::Run() {
       metrics.solver_latency_ms.Add(decision.stats.solver_seconds * 1e3);
       if (decision.stats.milp_vars > 0) {
         metrics.milp_vars.Add(decision.stats.milp_vars);
+        metrics.milp_components.Add(decision.stats.milp_components);
       }
       if (decision.stats.used_fallback) {
         ++metrics.fallback_cycles;

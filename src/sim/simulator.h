@@ -142,6 +142,9 @@ struct SimMetrics {
   SampleStats cycle_latency_ms;
   SampleStats solver_latency_ms;
   SampleStats milp_vars;
+  // Independent components the cycle MILP split into (1 = monolithic);
+  // sampled only on cycles that built a model, like milp_vars.
+  SampleStats milp_components;
   double utilization = 0.0;  // busy node-seconds / (nodes * makespan)
   SimTime makespan = 0;
   int preemptions = 0;

@@ -16,6 +16,7 @@
 #include "src/common/metrics.h"
 #include "src/common/span.h"
 #include "src/common/thread_pool.h"
+#include "src/solver/decompose.h"
 #include "src/solver/presolve.h"
 
 namespace tetrisched {
@@ -33,6 +34,9 @@ struct SolverInstruments {
   Histogram* lp_ms;                 // per-LP-call latency (root + nodes)
   Histogram* branch_and_bound_ms;   // worker-section wall-clock per solve
   Histogram* queue_wait_ms;         // per queue_cv wait episode (enabled only)
+  Histogram* decompose_ms;          // detection (+ extraction) per solve
+  Histogram* components;            // components per decomposition-checked solve
+  Histogram* largest_component_vars;
   Counter* solves;
   Counter* nodes;
   Counter* lp_iterations;
@@ -42,6 +46,14 @@ struct SolverInstruments {
   Counter* presolve_dropped_rows;
 };
 
+// Power-of-two buckets for count-valued histograms (component counts and
+// component sizes, not latencies).
+const std::vector<double>& CountBuckets() {
+  static const std::vector<double> buckets{1,  2,   4,   8,   16,   32,
+                                           64, 128, 256, 512, 1024, 4096};
+  return buckets;
+}
+
 SolverInstruments& Instruments() {
   MetricsRegistry& registry = GlobalMetrics();
   static SolverInstruments instruments{
@@ -49,6 +61,10 @@ SolverInstruments& Instruments() {
       registry.GetHistogram("tetrisched_phase_lp_ms"),
       registry.GetHistogram("tetrisched_phase_branch_and_bound_ms"),
       registry.GetHistogram("tetrisched_solver_queue_wait_ms"),
+      registry.GetHistogram("tetrisched_phase_decompose_ms"),
+      registry.GetHistogram("tetrisched_solver_components", CountBuckets()),
+      registry.GetHistogram("tetrisched_solver_largest_component_vars",
+                            CountBuckets()),
       registry.GetCounter("tetrisched_solver_solves_total"),
       registry.GetCounter("tetrisched_solver_nodes_total"),
       registry.GetCounter("tetrisched_solver_lp_iterations_total"),
@@ -240,6 +256,33 @@ MilpResult MilpSolver::Solve(std::span<const double> warm_start) {
       return result;
     }
     ins.presolve_ms->Observe(millis_since(presolve_start));
+  }
+
+  // Component decomposition (decompose.h / DESIGN.md §12). Runs on the
+  // post-presolve model: by this point presolve either found nothing (we fell
+  // through above) or this is the inner recursion's frame solving the reduced
+  // model, whose severed couplings are exactly what detection exploits. When
+  // the model splits, each component is solved as an independent MilpSolver
+  // (with enable_decomposition off) and the stitched result returns here;
+  // single-component models fall through to the monolithic search below with
+  // nothing but an O(nonzeros) detection pass spent.
+  if (options_.enable_decomposition) {
+    std::optional<ScopedSpan> decompose_span;
+    decompose_span.emplace("solver.decompose");
+    const auto detect_start = Clock::now();
+    Decomposition decomp = DetectComponents(model_);
+    const double detect_ms = millis_since(detect_start);
+    ins.decompose_ms->Observe(detect_ms);
+    ins.components->Observe(std::max(1, decomp.num_components));
+    ins.largest_component_vars->Observe(decomp.largest_component_vars());
+    if (decomp.Splits()) {
+      // Component solves flush their own node / LP-iteration / solve totals
+      // into the registry; the stitched frame adds nothing on top.
+      MilpResult decomposed =
+          SolveDecomposed(model_, decomp, options_, warm_start, detect_ms);
+      decomposed.solve_seconds = elapsed();
+      return decomposed;
+    }
   }
 
   MilpResult result;

@@ -49,6 +49,12 @@ struct MilpOptions {
   // Exact model reductions before search (see presolve.h). On by default;
   // disable to measure its effect.
   bool enable_presolve = true;
+  // Split the (presolved) model into connected components of its
+  // variable-constraint incidence graph and solve them as independent
+  // sub-MILPs on the thread pool (see decompose.h / DESIGN.md §12). Exact;
+  // on by default. Single-component models bypass the layer and are
+  // bit-identical to a monolithic solve.
+  bool enable_decomposition = true;
   // Branch-and-bound workers sharing one best-bound node queue. 0 means one
   // worker per hardware thread. 1 runs the search on the calling thread with
   // fully deterministic node ordering and node counts (use it in tests that
@@ -71,6 +77,13 @@ struct MilpResult {
   long lp_iterations = 0;
   int threads_used = 1;  // resolved worker count (after the 0 = auto default)
   double solve_seconds = 0.0;
+  // Decomposition breakdown (DESIGN.md §12): number of independent
+  // components solved (1 = monolithic / bypass), wall-clock spent detecting
+  // and extracting them, and the slowest single component solve. When
+  // components == 1 the two timings stay 0 except for detection cost.
+  int components = 1;
+  double decompose_ms = 0.0;
+  double max_component_ms = 0.0;
 
   bool HasSolution() const {
     return status == MilpStatus::kOptimal || status == MilpStatus::kGapLimit ||
