@@ -88,6 +88,19 @@ struct CycleStats {
   // 1 = greedy first-fit fallback, 2 = skip (nothing committed this cycle).
   // used_fallback == (ladder_rung > 0); the rung adds *which* rung.
   int ladder_rung = 0;
+  // Cycle budget / adaptive plan-ahead (DESIGN.md §13). budget_seconds == 0
+  // means the budget subsystem was off this cycle and the rest are inert.
+  double budget_seconds = 0.0;     // configured cycle budget
+  bool budget_blown = false;       // cycle_seconds exceeded the budget
+  int phase_overruns = 0;          // phases that exceeded their share
+  SimDuration effective_plan_ahead = 0;  // window actually used this cycle
+  double effective_rel_gap = 0.0;        // rel_gap actually used this cycle
+  // AIMD adaptation taken *after* this cycle: -1 = plan-ahead shrank,
+  // +1 = restored a step, 0 = unchanged. Journaled as kPlanAheadAdapt.
+  int plan_ahead_adapted = 0;
+  // Incumbents refused by the independent plan certifier (certify.h); each
+  // reject degrades the cycle to the greedy ladder rung.
+  int certifier_rejects = 0;
 };
 
 class SchedulerPolicy {

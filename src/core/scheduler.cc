@@ -11,6 +11,7 @@
 #include "src/common/span.h"
 #include "src/compiler/compiler.h"
 #include "src/core/plan_check.h"
+#include "src/solver/certify.h"
 
 namespace tetrisched {
 namespace {
@@ -36,6 +37,14 @@ struct CycleInstruments {
   Counter* skipped_cycles;
   Counter* validator_rejects;
   Counter* dropped_jobs;
+  // Cycle budget / adaptive plan-ahead instruments (DESIGN.md §13).
+  Counter* budget_blown_cycles;
+  Counter* overrun_strl_gen;
+  Counter* overrun_compile;
+  Counter* overrun_solve;
+  Counter* overrun_commit;
+  Counter* plan_ahead_adaptations;
+  Gauge* effective_plan_ahead;
 };
 
 CycleInstruments& Instruments() {
@@ -53,6 +62,13 @@ CycleInstruments& Instruments() {
       registry.GetCounter("tetrisched_skipped_cycles_total"),
       registry.GetCounter("tetrisched_validator_rejects_total"),
       registry.GetCounter("tetrisched_dropped_jobs_total"),
+      registry.GetCounter("tetrisched_budget_blown_cycles_total"),
+      registry.GetCounter("tetrisched_budget_overrun_strl_gen_total"),
+      registry.GetCounter("tetrisched_budget_overrun_compile_total"),
+      registry.GetCounter("tetrisched_budget_overrun_solve_total"),
+      registry.GetCounter("tetrisched_budget_overrun_commit_total"),
+      registry.GetCounter("tetrisched_plan_ahead_adaptations_total"),
+      registry.GetGauge("tetrisched_effective_plan_ahead"),
   };
   return instruments;
 }
@@ -118,7 +134,10 @@ TetriScheduler::TetriScheduler(const Cluster& cluster, TetriSchedConfig config)
       config_(config),
       generator_(cluster, StrlGenOptions{config.plan_ahead, config.quantum,
                                          config.heterogeneity_aware,
-                                         config.be_decay_horizon}) {}
+                                         config.be_decay_horizon}),
+      aimd_(config.budget.aimd),
+      effective_plan_ahead_(config.plan_ahead),
+      effective_rel_gap_(config.milp.rel_gap) {}
 
 const char* TetriScheduler::name() const {
   if (!config_.heterogeneity_aware) {
@@ -144,6 +163,11 @@ std::string TetriScheduler::ExportDurableState() const {
       writer.PutI64(count);
     }
   }
+  // AIMD overload-controller state (DESIGN.md §13), appended after the
+  // warm-start map so pre-budget blobs (which stop at the map) still import.
+  writer.PutDouble(aimd_.level());
+  writer.PutU32(static_cast<uint32_t>(aimd_.blown_streak()));
+  writer.PutU32(static_cast<uint32_t>(aimd_.healthy_streak()));
   return writer.str();
 }
 
@@ -164,6 +188,18 @@ void TetriScheduler::ImportDurableState(std::string_view blob) {
       counts[partition] = static_cast<int>(reader.GetI64());
     }
   }
+  // Blobs from before the budget subsystem end at the warm-start map; treat
+  // a missing suffix as "never adapted" rather than corruption.
+  bool has_aimd = false;
+  double level = 1.0;
+  uint32_t blown_streak = 0;
+  uint32_t healthy_streak = 0;
+  if (reader.ok() && !reader.AtEnd()) {
+    level = reader.GetDouble();
+    blown_streak = reader.GetU32();
+    healthy_streak = reader.GetU32();
+    has_aimd = true;
+  }
   if (!reader.ok() || !reader.AtEnd()) {
     TETRI_LOG(kWarning)
         << "TetriScheduler: discarding malformed durable state ("
@@ -171,13 +207,23 @@ void TetriScheduler::ImportDurableState(std::string_view blob) {
     return;
   }
   previous_plan_ = std::move(plan);
+  if (has_aimd) {
+    aimd_.RestoreState(level, static_cast<int>(blown_streak),
+                       static_cast<int>(healthy_streak));
+    // Re-derive the adapted window/gap so a recovered scheduler resumes on
+    // the same plan-ahead trajectory as the crashed one. At level 1.0 this
+    // is the identity, so non-adapted recoveries stay bit-identical.
+    ApplyAimdLevel();
+  }
 }
 
 TimeGrid TetriScheduler::MakeGrid(SimTime now) const {
   TimeGrid grid;
   grid.start = QuantizeDown(now, config_.quantum);
   grid.quantum = config_.quantum;
-  SimTime horizon = now + config_.plan_ahead;
+  // The adapted window (== config_.plan_ahead unless the AIMD controller
+  // shrank it under overload) bounds both the grid and STRL generation.
+  SimTime horizon = now + effective_plan_ahead_;
   grid.num_slices = static_cast<int>(
       QuantaCovering(horizon - grid.start, config_.quantum));
   return grid;
@@ -204,6 +250,7 @@ TetriScheduler::Decision TetriScheduler::OnCycle(
     const std::vector<RunningHold>& running) {
   TETRI_SPAN("scheduler.cycle");
   auto cycle_start = Clock::now();
+  cycle_start_ = cycle_start;  // anchors CycleMilpOptions' remaining-budget
   Decision decision;
   decision.stats.pending_count = static_cast<int>(pending.size());
   if (pending.empty()) {
@@ -354,6 +401,59 @@ TetriScheduler::Decision TetriScheduler::OnCycle(
   decision.stats.cycle_seconds = Seconds(cycle_start, Clock::now());
 
   CycleInstruments& instruments = Instruments();
+  const CycleBudgetOptions& budget = config_.budget;
+  if (budget.budget_seconds > 0.0) {
+    // Budget accounting + AIMD adaptation (DESIGN.md §13). Phase shares are
+    // advisory (overruns are counted, not enforced); only the solve phase is
+    // hard-limited, via the deadline in CycleMilpOptions().
+    decision.stats.budget_seconds = budget.budget_seconds;
+    decision.stats.budget_blown =
+        decision.stats.cycle_seconds > budget.budget_seconds;
+    const double solve_share =
+        std::max(0.0, 1.0 - budget.strl_gen_share - budget.compile_share -
+                          budget.commit_share);
+    const struct {
+      double spent;
+      double share;
+      Counter* counter;
+    } phases[] = {
+        {decision.stats.strl_gen_seconds, budget.strl_gen_share,
+         instruments.overrun_strl_gen},
+        {decision.stats.compile_seconds, budget.compile_share,
+         instruments.overrun_compile},
+        {decision.stats.solver_seconds, solve_share,
+         instruments.overrun_solve},
+        {decision.stats.commit_seconds, budget.commit_share,
+         instruments.overrun_commit},
+    };
+    for (const auto& phase : phases) {
+      if (phase.spent > phase.share * budget.budget_seconds) {
+        ++decision.stats.phase_overruns;
+        phase.counter->Increment();
+      }
+    }
+    if (decision.stats.budget_blown) {
+      instruments.budget_blown_cycles->Increment();
+    }
+    decision.stats.plan_ahead_adapted =
+        aimd_.Observe(decision.stats.budget_blown);
+    if (decision.stats.plan_ahead_adapted != 0) {
+      ApplyAimdLevel();
+      instruments.plan_ahead_adaptations->Increment();
+      TETRI_LOG(kInfo) << "plan-ahead "
+                       << (decision.stats.plan_ahead_adapted < 0 ? "shrunk"
+                                                                 : "restored")
+                       << " to " << effective_plan_ahead_
+                       << " (AIMD level " << aimd_.level() << ", rel_gap "
+                       << effective_rel_gap_ << ")";
+    }
+  }
+  decision.stats.effective_plan_ahead = effective_plan_ahead_;
+  decision.stats.effective_rel_gap =
+      budget.budget_seconds > 0.0 && budget.adapt_rel_gap
+          ? effective_rel_gap_
+          : config_.milp.rel_gap;
+
   instruments.cycle_ms->Observe(1e3 * decision.stats.cycle_seconds);
   instruments.strl_gen_ms->Observe(1e3 * decision.stats.strl_gen_seconds);
   instruments.compile_ms->Observe(1e3 * decision.stats.compile_seconds);
@@ -420,7 +520,8 @@ TetriScheduler::Decision TetriScheduler::GlobalCycle(
     warm = compiled.BuildWarmStart(previous_plan_);
   }
 
-  MilpSolver solver(compiled.model(), config_.milp);
+  const MilpOptions milp_options = CycleMilpOptions();
+  MilpSolver solver(compiled.model(), milp_options);
   MilpResult result = [&] {
     TETRI_SPAN("scheduler.solve");
     return solver.Solve(warm);
@@ -436,6 +537,24 @@ TetriScheduler::Decision TetriScheduler::GlobalCycle(
     TETRI_LOG(kWarning) << "MILP produced no schedule ("
                         << ToString(result.solve_status) << ")";
     return decision;
+  }
+
+  // Independent plan certifier (certify.h): re-check the incumbent against
+  // the model before committing anything derived from it. A reject demotes
+  // the cycle to kNoIncumbent, which sends OnCycle down the greedy rung.
+  if (config_.certify_plans &&
+      result.solve_status != SolveStatus::kNoIncumbent) {
+    CertifyReport report = [&] {
+      TETRI_SPAN("scheduler.certify");
+      return CertifyPlan(compiled.model(), result, milp_options);
+    }();
+    if (!report.ok) {
+      TETRI_LOG(kWarning) << "plan certifier rejected the incumbent: "
+                          << report.failure;
+      decision.stats.certifier_rejects += 1;
+      decision.stats.solve_status = SolveStatus::kNoIncumbent;
+      return decision;
+    }
   }
 
   // Commit only the allocations starting now; remember deferred choices as
@@ -471,6 +590,52 @@ TetriScheduler::Decision TetriScheduler::GlobalCycle(
   }
   decision.stats.commit_seconds = Seconds(commit_start, Clock::now());
   return decision;
+}
+
+MilpOptions TetriScheduler::CycleMilpOptions() const {
+  MilpOptions milp = config_.milp;
+  const CycleBudgetOptions& budget = config_.budget;
+  if (budget.budget_seconds <= 0.0) {
+    return milp;  // budget subsystem off: configured options verbatim
+  }
+  if (budget.adapt_rel_gap) {
+    milp.rel_gap = effective_rel_gap_;
+  }
+  // Wall-clock left in the cycle budget once earlier phases spent theirs,
+  // minus the commit reserve. A cycle that already blew its budget before
+  // the solve gets a zero limit -> kNoSolution -> the greedy ladder rung,
+  // which is the designed degradation rather than a torn solve.
+  const double elapsed = Seconds(cycle_start_, Clock::now());
+  const double solve_budget =
+      budget.budget_seconds * (1.0 - budget.commit_share) - elapsed;
+  milp.time_limit_seconds =
+      std::min(milp.time_limit_seconds, std::max(solve_budget, 0.0));
+  return milp;
+}
+
+void TetriScheduler::ApplyAimdLevel() {
+  const CycleBudgetOptions& budget = config_.budget;
+  const double level = aimd_.level();
+  if (budget.adapt_plan_ahead) {
+    // Quantize the shrunk window to whole quanta, flooring at one quantum:
+    // level 0 degrades to the paper's NP (now-or-never) configuration.
+    const double target = level * static_cast<double>(config_.plan_ahead);
+    const int64_t slices = std::max<int64_t>(
+        1, static_cast<int64_t>(std::llround(
+               target / static_cast<double>(config_.quantum))));
+    effective_plan_ahead_ =
+        std::min(config_.plan_ahead, slices * config_.quantum);
+    generator_.set_plan_ahead(effective_plan_ahead_);
+    Instruments().effective_plan_ahead->Set(
+        static_cast<double>(effective_plan_ahead_));
+  }
+  if (budget.adapt_rel_gap) {
+    // Interpolate between the configured gap (level 1) and the relaxed
+    // overload gap (level 0).
+    effective_rel_gap_ =
+        budget.relaxed_rel_gap +
+        level * (config_.milp.rel_gap - budget.relaxed_rel_gap);
+  }
 }
 
 TetriScheduler::Decision TetriScheduler::GreedyCycle(

@@ -25,12 +25,14 @@
 #ifndef TETRISCHED_CORE_SCHEDULER_H_
 #define TETRISCHED_CORE_SCHEDULER_H_
 
+#include <chrono>
 #include <map>
 #include <set>
 #include <vector>
 
 #include "src/cluster/availability.h"
 #include "src/cluster/cluster.h"
+#include "src/common/budget.h"
 #include "src/core/policy.h"
 #include "src/core/strl_gen.h"
 #include "src/solver/milp.h"
@@ -51,6 +53,14 @@ struct TetriSchedConfig {
   // Seed each cycle's MILP with the previous cycle's surviving plan
   // (paper §3.2.2). Disable only for the warm-start ablation bench.
   bool enable_warm_start = true;
+  // Cycle deadline enforcement + adaptive plan-ahead (DESIGN.md §13).
+  // budget.budget_seconds == 0 (default) keeps the whole subsystem inert.
+  CycleBudgetOptions budget;
+  // Independent plan certifier (certify.h): re-check every MILP incumbent
+  // against the uncompiled model before commit; a reject degrades the cycle
+  // to the greedy ladder rung. Read-only on healthy plans, so it never
+  // changes a correct schedule. Independent of budget_seconds.
+  bool certify_plans = true;
   MilpOptions milp = DefaultMilpOptions();
 
   static MilpOptions DefaultMilpOptions() {
@@ -88,6 +98,12 @@ class TetriScheduler : public SchedulerPolicy {
 
   const TetriSchedConfig& config() const { return config_; }
 
+  // Current adapted plan-ahead window / relative gap (== the configured
+  // values unless the AIMD controller has shrunk them; exposed for tests).
+  SimDuration effective_plan_ahead() const { return effective_plan_ahead_; }
+  double effective_rel_gap() const { return effective_rel_gap_; }
+  const AimdController& aimd() const { return aimd_; }
+
  private:
   // `planned` receives the ids of jobs given any allocation (now or
   // deferred) so rescue preemption can spot stranded SLO jobs.
@@ -109,6 +125,14 @@ class TetriScheduler : public SchedulerPolicy {
   AvailabilityGrid BuildAvailability(
       SimTime now, const std::vector<RunningHold>& running) const;
 
+  // MILP options for this cycle's global solve: the configured options with
+  // the adapted rel_gap and the wall-clock remaining in the cycle's solve
+  // budget (when budgeted).
+  MilpOptions CycleMilpOptions() const;
+  // Maps the AIMD level onto effective_plan_ahead_ (quantized to whole
+  // quanta, floored at one quantum = NP) and effective_rel_gap_.
+  void ApplyAimdLevel();
+
   const Cluster& cluster_;
   TetriSchedConfig config_;
   StrlGenerator generator_;
@@ -116,6 +140,12 @@ class TetriScheduler : public SchedulerPolicy {
   // Deferred choices from the previous cycle, keyed by stable leaf tags;
   // used only as the next solve's warm-start hint.
   LeafGrants previous_plan_;
+
+  // Cycle budget / adaptive plan-ahead state (DESIGN.md §13).
+  AimdController aimd_;
+  SimDuration effective_plan_ahead_ = 0;
+  double effective_rel_gap_ = 0.0;
+  std::chrono::steady_clock::time_point cycle_start_{};
 };
 
 }  // namespace tetrisched

@@ -67,6 +67,13 @@ class StrlGenerator {
 
   const StrlGenOptions& options() const { return options_; }
 
+  // Adjusts the plan-ahead window in place (adaptive plan-ahead under
+  // overload, DESIGN.md §13). Leaf tags only encode job/start/kind, so
+  // options generated under different windows stay warm-start compatible.
+  void set_plan_ahead(SimDuration plan_ahead) {
+    options_.plan_ahead = plan_ahead;
+  }
+
  private:
   // Candidate start times in [now, now + plan_ahead): `now` itself, then
   // absolute quantum-aligned instants.

@@ -160,6 +160,8 @@ const char* ToString(DurableEventKind kind) {
       return "gang_preempt";
     case DurableEventKind::kJobDropped:
       return "job_dropped";
+    case DurableEventKind::kPlanAheadAdapt:
+      return "plan_ahead_adapt";
   }
   return "unknown";
 }
@@ -272,6 +274,10 @@ void ApplyEvent(RecoveredState& state, const DurableEvent& event) {
     case DurableEventKind::kJobDropped:
       state.running.erase(event.job);
       state.finished.insert(event.job);
+      break;
+    case DurableEventKind::kPlanAheadAdapt:
+      // Informational only: the adapted AIMD state is recovered from the
+      // kCommitApplied policy blob, not replayed from these records.
       break;
   }
 }

@@ -52,6 +52,11 @@ enum class DurableEventKind : uint8_t {
   kGangKill = 9,      // gang killed by a node failure; retry/backoff state
   kGangPreempt = 10,  // gang preempted back to pending
   kJobDropped = 11,   // job dropped (deadline unreachable / retries spent)
+  // AIMD plan-ahead adaptation (DESIGN.md §13): k = direction (-1 shrink,
+  // +1 restore), runtime = the new effective plan-ahead window. Informational
+  // for replay inspection — the authoritative adapted state rides the
+  // kCommitApplied policy blob, so ApplyEvent treats this as a no-op.
+  kPlanAheadAdapt = 12,
 };
 
 const char* ToString(DurableEventKind kind);

@@ -805,12 +805,30 @@ SimMetrics Simulator::Run() {
       metrics.validator_violations += decision.stats.validator_rejects;
       sim_ins.validator_violations->Increment(
           decision.stats.validator_rejects);
+      if (decision.stats.budget_blown) {
+        ++metrics.budget_blown_cycles;
+      }
+      if (decision.stats.plan_ahead_adapted != 0) {
+        ++metrics.plan_ahead_adaptations;
+      }
+      metrics.certifier_rejects += decision.stats.certifier_rejects;
 
       // Two-phase commit (DESIGN.md §11): journal the cycle's full intent
       // before any cluster mutation, journal each mutation after it lands,
       // and close with kCommitApplied carrying the policy's durable state.
       // A crash anywhere in between leaves an open intent that recovery
       // reconciles against what actually reached the cluster.
+      if (persist != nullptr && decision.stats.plan_ahead_adapted != 0) {
+        // AIMD adaptation record (DESIGN.md §13): informational for journal
+        // inspection; the authoritative adapted state rides the
+        // kCommitApplied policy blob below.
+        DurableEvent adapt;
+        adapt.kind = DurableEventKind::kPlanAheadAdapt;
+        adapt.time = now;
+        adapt.k = decision.stats.plan_ahead_adapted;
+        adapt.runtime = decision.stats.effective_plan_ahead;
+        durable(adapt);
+      }
       if (persist != nullptr) {
         DurableEvent intent;
         intent.kind = DurableEventKind::kCommitIntent;
@@ -1116,6 +1134,12 @@ std::string SimMetrics::Summary() const {
         << reservations_dropped << " reservations dropped, "
         << fallback_cycles << " fallback cycles, " << validator_violations
         << " validator violations";
+  }
+  if (budget_blown_cycles > 0 || plan_ahead_adaptations > 0 ||
+      certifier_rejects > 0) {
+    out << "; budget: " << budget_blown_cycles << " blown cycles, "
+        << plan_ahead_adaptations << " plan-ahead adaptations, "
+        << certifier_rejects << " certifier rejects";
   }
   if (scheduler_crashes > 0) {
     out << "; crashes: " << scheduler_crashes << " injected, " << recoveries

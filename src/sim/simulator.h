@@ -159,6 +159,11 @@ struct SimMetrics {
   int straggler_slowed_starts = 0; // gangs started on >= 1 fail-slow node
   SampleStats recovery_latency;   // kill -> restart gap per retry (s)
 
+  // Cycle budget / adaptive plan-ahead accounting (DESIGN.md §13).
+  int budget_blown_cycles = 0;      // cycles exceeding their wall-clock budget
+  int plan_ahead_adaptations = 0;   // AIMD shrink/restore steps taken
+  int certifier_rejects = 0;        // incumbents refused by the plan certifier
+
   // Scheduler-crash/persistence accounting (DESIGN.md §11).
   int scheduler_crashes = 0;     // injected crashes that fired
   int recoveries = 0;            // successful recovery passes

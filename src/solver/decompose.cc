@@ -5,6 +5,7 @@
 #include <numeric>
 #include <utility>
 
+#include "src/common/budget.h"
 #include "src/common/metrics.h"
 #include "src/common/span.h"
 #include "src/common/thread_pool.h"
@@ -72,6 +73,7 @@ struct Component {
   std::vector<double> warm;
   MilpOptions options;
   MilpResult result;
+  double weight = 0.0;  // deadline-pool weight (variable count)
 };
 
 }  // namespace
@@ -208,10 +210,12 @@ MilpResult SolveDecomposed(const MilpModel& model, const Decomposition& decomp,
   // of its slice and silently drops an infeasible one, as before).
   const bool have_warm = static_cast<int>(warm_start.size()) == n;
 
-  // Budget apportionment by variable share: the shares sum to 1, so the
-  // total time/node/gap budget spent across components never exceeds the
-  // monolithic budget (components running concurrently only finish sooner).
-  // Floors keep a tiny component from being starved below one root solve.
+  // Budget apportionment by variable share. Node/gap/stall budgets are
+  // fixed shares (they sum to 1, so total work never exceeds the monolithic
+  // budget); wall-clock is handled by a DeadlinePool below, so a component
+  // that finishes early donates its unused time to the ones still running
+  // instead of stranding it. Floors keep a tiny component from being starved
+  // below one root solve.
   int total_vars = 0;
   for (int comp = 0; comp < k; ++comp) {
     total_vars += decomp.component_vars[comp];
@@ -227,9 +231,9 @@ MilpResult SolveDecomposed(const MilpModel& model, const Decomposition& decomp,
     // row-local, so re-running it per component would find nothing.
     inner.enable_presolve = false;
     inner.num_threads = inner_threads;
-    inner.time_limit_seconds =
-        std::max(share * options.time_limit_seconds,
-                 std::min(options.time_limit_seconds, 0.005));
+    // time_limit_seconds is acquired from the pool at component start; the
+    // parent's composed CancelToken (inner.cancel, when set) stays the hard
+    // cap either way.
     inner.max_nodes =
         std::max(64, static_cast<int>(options.max_nodes * share));
     inner.abs_gap = std::max(1e-9, options.abs_gap * share);
@@ -238,6 +242,7 @@ MilpResult SolveDecomposed(const MilpModel& model, const Decomposition& decomp,
           std::max(32, static_cast<int>(options.stall_node_limit * share));
     }
     component.options = inner;
+    component.weight = decomp.component_vars[comp];
     if (have_warm) {
       component.warm.resize(component.vars.size());
       for (size_t i = 0; i < component.vars.size(); ++i) {
@@ -251,10 +256,21 @@ MilpResult SolveDecomposed(const MilpModel& model, const Decomposition& decomp,
   // and each component solve is single-threaded whenever the worker count
   // does not exceed the component count — in that case the whole decomposed
   // solve is deterministic regardless of pool interleaving. ----------------
-  auto solve_component = [](Component& component) {
+  // Wall-clock pool over the solve budget: a component's slice is computed
+  // when it *starts*, from the time then remaining and the weight still
+  // outstanding, so early finishers' unused time flows to later components
+  // (with one thread, the last component may inherit nearly the whole
+  // remaining budget; with many, concurrent slices still sum to at most the
+  // remaining wall-clock).
+  DeadlinePool time_pool(options.time_limit_seconds, total_vars);
+  const double floor_seconds = std::min(options.time_limit_seconds, 0.005);
+  auto solve_component = [&time_pool, floor_seconds](Component& component) {
     TETRI_SPAN("solver.component");
+    component.options.time_limit_seconds =
+        time_pool.AcquireSeconds(component.weight, floor_seconds);
     component.result = MilpSolver(component.model, component.options)
                            .Solve(component.warm);
+    time_pool.Release(component.weight);
   };
   const int pool_threads = std::min(num_workers, k);
   if (pool_threads <= 1) {

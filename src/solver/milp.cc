@@ -212,6 +212,17 @@ MilpResult MilpSolver::Solve(std::span<const double> warm_start) {
     return result;
   }
 
+  // Hard deadline for this solve: the internal wall-clock limit composed
+  // with any external token (earliest wins). Threaded through every LP solve
+  // below — root, workers, diving, presolve recursion, decomposed components
+  // — so expiry is honored inside a pivot loop, not just at node boundaries.
+  CancelToken deadline;
+  deadline.ArmAfterSeconds(options_.time_limit_seconds);
+  if (options_.cancel != nullptr &&
+      options_.cancel->deadline_nanos() < deadline.deadline_nanos()) {
+    deadline.ArmAtNanos(options_.cancel->deadline_nanos());
+  }
+
   if (options_.enable_presolve) {
     const auto presolve_start = Clock::now();
     // The presolve span pauses around the recursive solve of the reduced
@@ -240,6 +251,9 @@ MilpResult MilpSolver::Solve(std::span<const double> warm_start) {
       }
       MilpOptions inner_options = options_;
       inner_options.enable_presolve = false;
+      // The inner solve restarts its elapsed clock; the composed token keeps
+      // the original absolute deadline binding across the recursion.
+      inner_options.cancel = &deadline;
       MilpSolver inner(presolver.reduced(), inner_options);
       // Reduction work ends here; the inner solve reports its own lp /
       // branch_and_bound phases against the reduced model.
@@ -277,9 +291,13 @@ MilpResult MilpSolver::Solve(std::span<const double> warm_start) {
     ins.largest_component_vars->Observe(decomp.largest_component_vars());
     if (decomp.Splits()) {
       // Component solves flush their own node / LP-iteration / solve totals
-      // into the registry; the stitched frame adds nothing on top.
-      MilpResult decomposed =
-          SolveDecomposed(model_, decomp, options_, warm_start, detect_ms);
+      // into the registry; the stitched frame adds nothing on top. Each
+      // component composes its pooled slice with this solve's deadline.
+      MilpOptions decomposed_options = options_;
+      decomposed_options.cancel = &deadline;
+      MilpResult decomposed = SolveDecomposed(model_, decomp,
+                                              decomposed_options, warm_start,
+                                              detect_ms);
       decomposed.solve_seconds = elapsed();
       return decomposed;
     }
@@ -295,7 +313,9 @@ MilpResult MilpSolver::Solve(std::span<const double> warm_start) {
   std::optional<ScopedSpan> setup_span;
   setup_span.emplace("solver.setup");
 
-  LpSolver root_lp(model_, options_.lp);
+  LpOptions lp_options = options_.lp;
+  lp_options.cancel = &deadline;
+  LpSolver root_lp(model_, lp_options);
 
   std::vector<double> root_lower(n), root_upper(n);
   for (int v = 0; v < n; ++v) {
@@ -431,6 +451,9 @@ MilpResult MilpSolver::Solve(std::span<const double> warm_start) {
       dive_upper[v] = near;
       LpResult next = timed_lp(lp, dive_lower, dive_upper, warm);
       lp_iterations.fetch_add(next.iterations, std::memory_order_relaxed);
+      if (next.status == LpStatus::kCancelled) {
+        return;  // deadline expired mid-dive; keep whatever incumbent exists
+      }
       if (next.status != LpStatus::kOptimal && far != near) {
         dive_lower[v] = far;
         dive_upper[v] = far;
@@ -446,7 +469,7 @@ MilpResult MilpSolver::Solve(std::span<const double> warm_start) {
       relax = std::move(next);
       basis = lp.BasisSnapshot();
       warm = &basis;
-      if (elapsed() > options_.time_limit_seconds) {
+      if (deadline.Expired()) {
         return;
       }
     }
@@ -487,6 +510,25 @@ MilpResult MilpSolver::Solve(std::span<const double> warm_start) {
     finalize_counts();
     return result;
   }
+  if (root.status == LpStatus::kCancelled) {
+    // Deadline expired inside the root relaxation. Return the best incumbent
+    // held so far (warm start or the zero-clamped fallback); the relaxation
+    // never finished, so no honest bound exists.
+    if (have_incumbent) {
+      result.status = MilpStatus::kFeasible;
+      result.objective = incumbent_obj;
+      result.values = incumbent;
+      result.best_bound = kInfinity;
+      result.solve_status = real_incumbent.load(std::memory_order_relaxed)
+                                ? SolveStatus::kTimeLimit
+                                : SolveStatus::kNoIncumbent;
+    } else {
+      result.status = MilpStatus::kNoSolution;
+      result.solve_status = SolveStatus::kNoIncumbent;
+    }
+    finalize_counts();
+    return result;
+  }
   if (root.status == LpStatus::kIterationLimit) {
     TETRI_LOG(kWarning) << "LP iteration limit at root; bound may be loose";
   }
@@ -524,7 +566,7 @@ MilpResult MilpSolver::Solve(std::span<const double> warm_start) {
   // LpSolver (and with it the warm-start basis of the last node it solved);
   // everything else it touches is the shared state above.
   auto worker = [&](int /*worker_id*/) {
-    LpSolver lp(model_, options_.lp);
+    LpSolver lp(model_, lp_options);
     LpBasis last_basis = root_basis;
     std::vector<double> lower(n), upper(n);
 
@@ -559,7 +601,7 @@ MilpResult MilpSolver::Solve(std::span<const double> warm_start) {
         continue;  // spurious wakeup while peers still expand
       }
       if (nodes.load(std::memory_order_relaxed) >= options_.max_nodes ||
-          elapsed() > options_.time_limit_seconds) {
+          deadline.Expired()) {
         limits_hit = true;
         done = true;
         queue_cv.notify_all();
@@ -609,12 +651,18 @@ MilpResult MilpSolver::Solve(std::span<const double> warm_start) {
 
       bool make_children = false;
       bool hit_unbounded = false;
+      bool hit_cancel = false;
       double node_bound = node->bound;
       int branch_var = -1;
       double branch_x = 0.0;
 
       if (relax.status == LpStatus::kInfeasible) {
         // Subtree empty; drop the node.
+      } else if (relax.status == LpStatus::kCancelled) {
+        // Deadline expired mid-LP: stop the whole search. The node is NOT
+        // pruned as infeasible — it simply goes unexplored, so the incumbent
+        // stays whatever was proven before the cut.
+        hit_cancel = true;
       } else if (relax.status == LpStatus::kIterationLimit) {
         TETRI_LOG(kWarning) << "LP iteration limit inside B&B node; pruning";
       } else if (relax.status == LpStatus::kUnbounded) {
@@ -644,6 +692,10 @@ MilpResult MilpSolver::Solve(std::span<const double> warm_start) {
 
       lock.lock();
       expanding_bounds.erase(active_it);
+      if (hit_cancel) {
+        limits_hit = true;
+        done = true;
+      }
       if (hit_unbounded) {
         found_unbounded = true;
         done = true;

@@ -61,6 +61,16 @@ struct MilpOptions {
   // assert either). >1 keeps the same gap/time/node guarantees but the node
   // visit order — and therefore the node count — varies run to run.
   int num_threads = 0;
+  // External cooperative deadline (budget.h), composed with
+  // time_limit_seconds: the solve arms an internal token at whichever
+  // deadline comes first and threads it through the root LP, presolve
+  // recursion, every branch-and-bound worker's LP solves, the diving
+  // heuristic, and each decomposed component, so the wall-clock limit is
+  // honored *inside* an LP solve rather than only at node boundaries. A solve
+  // cut off mid-LP returns the best incumbent so far with
+  // SolveStatus::kTimeLimit — never a torn result. Not owned; nullptr (or an
+  // unarmed token) leaves only the internal time_limit_seconds deadline.
+  const CancelToken* cancel = nullptr;
   LpOptions lp;
 };
 

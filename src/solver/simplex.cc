@@ -5,12 +5,21 @@
 #include <cmath>
 
 #include "src/common/logging.h"
+#include "src/common/metrics.h"
 
 namespace tetrisched {
 namespace {
 
-// Consecutive degenerate pivots before switching to Bland's rule.
-constexpr int kStallThreshold = 256;
+// Pivot iterations between cooperative deadline polls (power of two; each
+// poll is one atomic load plus one clock read, so this just keeps the clock
+// off the per-pivot path).
+constexpr int kCancelPollMask = 15;
+
+Counter* BlandActivations() {
+  static Counter* counter =
+      GlobalMetrics().GetCounter("tetrisched_solver_bland_activations_total");
+  return counter;
+}
 
 // Partial pricing: variables are scanned one rotating section at a time, and
 // only when the current section has no improving candidate does the scan
@@ -157,8 +166,16 @@ bool LpSolver::InstallWarmBasis(const LpBasis& warm) {
     }
     Binv(i, i) = 1.0;
   }
-  // Gauss-Jordan with partial pivoting on the augmented [B | I].
+  // Gauss-Jordan with partial pivoting on the augmented [B | I]. O(m^3), so
+  // on large bases this is the one place a deadline could silently slip by a
+  // whole refactorization: poll the token per column and bail (the caller
+  // falls back to the slack basis, and Iterate notices the expiry on its
+  // first poll).
   for (int col = 0; col < m_; ++col) {
+    if (options_.cancel != nullptr && (col & kCancelPollMask) == 0 &&
+        options_.cancel->Expired()) {
+      return false;
+    }
     int pivot_row = col;
     double best = std::abs(bmat[static_cast<size_t>(col) * m_ + col]);
     for (int r = col + 1; r < m_; ++r) {
@@ -205,7 +222,11 @@ bool LpSolver::InstallWarmBasis(const LpBasis& warm) {
 void LpSolver::RefactorizeOrReset() {
   LpBasis snapshot = BasisSnapshot();
   if (!InstallWarmBasis(snapshot)) {
-    TETRI_LOG(kWarning) << "singular basis during refactorization; resetting";
+    // A cancelled rebuild is expected (Iterate returns kCancelled right
+    // after); only a genuinely singular basis deserves the warning.
+    if (options_.cancel == nullptr || !options_.cancel->Expired()) {
+      TETRI_LOG(kWarning) << "singular basis during refactorization; resetting";
+    }
     InstallSlackBasis();
   }
 }
@@ -280,8 +301,14 @@ LpStatus LpSolver::Iterate(std::span<const double> costs_in, bool phase1,
   std::vector<double> y(m_);
   std::vector<double> w;
   int degenerate_streak = 0;
+  int cancel_poll = 0;
+  bool was_bland = false;
 
   while (true) {
+    if (options_.cancel != nullptr && (cancel_poll++ & kCancelPollMask) == 0 &&
+        options_.cancel->Expired()) {
+      return LpStatus::kCancelled;
+    }
     if (*iterations_left <= 0) {
       return LpStatus::kIterationLimit;
     }
@@ -314,7 +341,11 @@ LpStatus LpSolver::Iterate(std::span<const double> costs_in, bool phase1,
     // every variable, so partial pricing changes the pivot sequence but not
     // the answer; Bland's rule keeps its full lowest-index-first scan, which
     // its anti-cycling argument requires.
-    const bool bland = degenerate_streak >= kStallThreshold;
+    const bool bland = degenerate_streak >= options_.bland_pivot_limit;
+    if (bland && !was_bland) {
+      BlandActivations()->Increment();
+    }
+    was_bland = bland;
     int enter = -1;
     int enter_dir = 0;
     double best_viol = options_.cost_tol;
@@ -572,6 +603,13 @@ LpResult LpSolver::Solve(std::span<const double> lower,
     if (phase1 == LpStatus::kIterationLimit) {
       result.status = LpStatus::kIterationLimit;
       result.iterations = options_.max_iterations;
+      return result;
+    }
+    if (phase1 == LpStatus::kCancelled) {
+      // Cancelled while still (possibly) infeasible: report the cancellation
+      // rather than misclassifying the interrupted state as infeasible.
+      result.status = LpStatus::kCancelled;
+      result.iterations = options_.max_iterations - iterations_left;
       return result;
     }
     if (TotalInfeasibility() > options_.feas_tol * (m_ + 1)) {

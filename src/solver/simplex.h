@@ -20,6 +20,7 @@
 #include <span>
 #include <vector>
 
+#include "src/common/budget.h"
 #include "src/solver/model.h"
 
 namespace tetrisched {
@@ -29,6 +30,9 @@ enum class LpStatus {
   kInfeasible,
   kUnbounded,
   kIterationLimit,
+  // Cooperative cancellation (LpOptions::cancel expired mid-solve). The
+  // result carries no values: a cancelled solve is abandoned, never torn.
+  kCancelled,
 };
 
 struct LpOptions {
@@ -37,6 +41,15 @@ struct LpOptions {
   double cost_tol = 1e-7;   // reduced-cost optimality threshold
   double pivot_tol = 1e-9;  // minimum acceptable pivot magnitude
   int refactor_every = 150;  // rebuild basis inverse every N pivots
+  // Consecutive degenerate pivots before pricing falls back to Bland's
+  // anti-cycling rule (counted in tetrisched_solver_bland_activations_total).
+  // <= 0 engages Bland's rule from the first pivot.
+  int bland_pivot_limit = 256;
+  // Cooperative deadline, polled every few pivots inside Iterate and per
+  // column during warm-basis refactorization. Not owned; must outlive the
+  // solver. nullptr (default) or an unarmed token never reads the clock, so
+  // the plumbing is inert unless a deadline is actually armed.
+  const CancelToken* cancel = nullptr;
 };
 
 // Basis snapshot for warm starting (opaque to callers).
