@@ -4,21 +4,10 @@
 #include <cstdlib>
 
 #include "src/common/atomic_io.h"
+#include "src/common/json.h"
 
 namespace tetrisched {
 namespace {
-
-std::string JsonEscape(const std::string& s) {
-  std::string out;
-  out.reserve(s.size());
-  for (char c : s) {
-    if (c == '"' || c == '\\') {
-      out.push_back('\\');
-    }
-    out.push_back(c);
-  }
-  return out;
-}
 
 std::string FormatNumber(double v) {
   char buf[40];

@@ -1,0 +1,160 @@
+// Provenance overhead bench (observability extension; not a paper figure).
+//
+// Runs the fig_churn workload (GS MIX + stochastic faults on the
+// RC256-scaled cluster) twice per seed: once with the decision-provenance
+// flight recorder forced off (the baseline every other bench measures) and
+// once forced on, recording to the in-memory ring. The headline number is
+// the relative overhead on mean scheduling-cycle latency — the acceptance
+// bar is < 5%, since record sites are a relaxed atomic load when off and a
+// short mutex-guarded append when on.
+//
+// A third leg re-runs churn + injected scheduler crashes with a JSONL
+// export configured, producing the artifact the tetrisched_explain CLI (and
+// the CI observability-smoke job) consumes.
+//
+// With TETRISCHED_BENCH_JSON set, per-seed records plus the aggregate
+// overhead_pct land in BENCH_obs.json.
+
+#include <chrono>
+#include <cstdio>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "bench/bench_json.h"
+#include "bench/exp_common.h"
+#include "src/obs/provenance.h"
+#include "src/sim/faults.h"
+
+namespace tetrisched {
+namespace {
+
+struct Leg {
+  double cycle_ms = 0.0;   // mean scheduling-cycle latency
+  double wall_ms = 0.0;    // whole-run wall clock
+  double total_slo = 0.0;  // percent, sanity that legs ran the same workload
+  double records = 0.0;    // provenance records buffered (on-legs only)
+};
+
+std::unique_ptr<SchedulerPolicy> MakePolicy(const Cluster& cluster) {
+  TetriSchedConfig config = TetriSchedConfig::Full(/*plan_ahead=*/96);
+  config.quantum = 8;
+  config.milp.time_limit_seconds = 0.15;
+  config.milp.max_nodes = 1500;
+  return std::make_unique<TetriScheduler>(cluster, config);
+}
+
+Leg RunLeg(const Cluster& cluster, int seed, SimConfig sim_config,
+           bool with_crashes) {
+  WorkloadParams params;
+  params.kind = WorkloadKind::kGsMix;
+  params.seed = 1000 + 17 * seed;
+  params.num_jobs = 60;
+
+  std::vector<Job> jobs = GenerateWorkload(cluster, params);
+  RayonAdmission rayon(cluster.num_nodes());
+  ApplyAdmission(cluster, jobs, &rayon);
+
+  FaultModelParams faults;
+  faults.seed = 42 + seed;
+  faults.horizon = 6000;
+  faults.mtbf = 600.0;
+  faults.mttr = 60.0;
+  faults.rack_burst_prob = 0.1;
+  faults.straggler_prob = 0.2;
+  faults.straggler_slowdown = 2.0;
+  FaultSchedule schedule = GenerateFaultSchedule(cluster, faults);
+
+  sim_config.node_failures = schedule.failures;
+  sim_config.stragglers = schedule.stragglers;
+  sim_config.rayon = &rayon;
+  if (with_crashes) {
+    sim_config.scheduler_crashes = {{/*at=*/200, CrashPhase::kSolve},
+                                    {/*at=*/900, CrashPhase::kMidCommit}};
+  }
+
+  std::unique_ptr<SchedulerPolicy> policy = MakePolicy(cluster);
+  Simulator sim(cluster, *policy, std::move(jobs), sim_config);
+  auto t0 = std::chrono::steady_clock::now();
+  SimMetrics metrics = sim.Run();
+
+  Leg leg;
+  leg.wall_ms = std::chrono::duration<double, std::milli>(
+                    std::chrono::steady_clock::now() - t0)
+                    .count();
+  leg.cycle_ms = metrics.cycle_latency_ms.Mean();
+  leg.total_slo = 100.0 * metrics.TotalSloAttainment();
+  leg.records = static_cast<double>(ProvenanceRecorder::Global().size());
+  return leg;
+}
+
+int Main() {
+  Cluster cluster = MakeRc256();
+  PrintHeader("Provenance overhead: flight recorder on vs off",
+              "GS MIX + stochastic faults (MTBF 600 s), fig_churn cell",
+              cluster);
+
+  const int num_seeds = SeedsFromEnv(3);
+  BenchJsonWriter json;
+
+  double off_cycle_ms = 0.0;
+  double on_cycle_ms = 0.0;
+  for (int s = 0; s < num_seeds; ++s) {
+    SimConfig off;
+    off.provenance = SimConfig::ProvenanceMode::kOff;
+    Leg off_leg = RunLeg(cluster, s, off, /*with_crashes=*/false);
+    off_cycle_ms += off_leg.cycle_ms;
+
+    SimConfig on;
+    on.provenance = SimConfig::ProvenanceMode::kOn;
+    Leg on_leg = RunLeg(cluster, s, on, /*with_crashes=*/false);
+    on_cycle_ms += on_leg.cycle_ms;
+
+    std::printf(
+        "seed %d: cycle %s -> %s ms, slo %s -> %s %%, %d records\n", s,
+        Fixed(off_leg.cycle_ms, 3).c_str(), Fixed(on_leg.cycle_ms, 3).c_str(),
+        Fixed(off_leg.total_slo).c_str(), Fixed(on_leg.total_slo).c_str(),
+        static_cast<int>(on_leg.records));
+    json.Add("provenance_off/seed=" + std::to_string(s), off_leg.wall_ms,
+             {{"cycle_ms", off_leg.cycle_ms}, {"total_slo", off_leg.total_slo}});
+    json.Add("provenance_on/seed=" + std::to_string(s), on_leg.wall_ms,
+             {{"cycle_ms", on_leg.cycle_ms},
+              {"total_slo", on_leg.total_slo},
+              {"records", on_leg.records}});
+  }
+  off_cycle_ms /= num_seeds;
+  on_cycle_ms /= num_seeds;
+  double overhead_pct =
+      off_cycle_ms > 0 ? 100.0 * (on_cycle_ms - off_cycle_ms) / off_cycle_ms
+                       : 0.0;
+
+  // Churn + crash leg with a JSONL export: the artifact the explain CLI and
+  // the CI smoke job consume. SLO misses under churn guarantee the
+  // --slo-misses report has content.
+  SimConfig exported;
+  exported.provenance = SimConfig::ProvenanceMode::kOn;
+  exported.provenance_jsonl_path = "provenance_churn.jsonl";
+  Leg export_leg = RunLeg(cluster, 0, exported, /*with_crashes=*/true);
+  std::printf(
+      "\nexport leg (churn + 2 crashes): %d records -> "
+      "provenance_churn.jsonl\n",
+      static_cast<int>(export_leg.records));
+  json.Add("provenance_export", export_leg.wall_ms,
+           {{"records", export_leg.records}});
+
+  std::printf("\nmean cycle latency: off %s ms, on %s ms -> overhead %s%%\n",
+              Fixed(off_cycle_ms, 3).c_str(), Fixed(on_cycle_ms, 3).c_str(),
+              Fixed(overhead_pct, 2).c_str());
+  json.Add("provenance_overhead", on_cycle_ms,
+           {{"off_cycle_ms", off_cycle_ms},
+            {"on_cycle_ms", on_cycle_ms},
+            {"overhead_pct", overhead_pct}});
+
+  json.WriteIfRequested("BENCH_obs.json");
+  return 0;
+}
+
+}  // namespace
+}  // namespace tetrisched
+
+int main() { return tetrisched::Main(); }

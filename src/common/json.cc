@@ -1,0 +1,480 @@
+#include "src/common/json.h"
+
+#include <cctype>
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+
+namespace tetrisched {
+
+std::string JsonEscape(std::string_view s) {
+  std::string out;
+  out.reserve(s.size());
+  for (unsigned char c : s) {
+    switch (c) {
+      case '"':
+        out += "\\\"";
+        break;
+      case '\\':
+        out += "\\\\";
+        break;
+      case '\b':
+        out += "\\b";
+        break;
+      case '\f':
+        out += "\\f";
+        break;
+      case '\n':
+        out += "\\n";
+        break;
+      case '\r':
+        out += "\\r";
+        break;
+      case '\t':
+        out += "\\t";
+        break;
+      default:
+        if (c < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          out += buf;
+        } else {
+          out.push_back(static_cast<char>(c));
+        }
+    }
+  }
+  return out;
+}
+
+std::string JsonQuote(std::string_view s) {
+  std::string out;
+  std::string escaped = JsonEscape(s);
+  out.reserve(escaped.size() + 2);
+  out.push_back('"');
+  out += escaped;
+  out.push_back('"');
+  return out;
+}
+
+std::string JsonNumber(double v) {
+  if (std::isnan(v)) {
+    return "null";  // JSON has no NaN literal
+  }
+  if (std::isinf(v)) {
+    return v > 0 ? "1e999" : "-1e999";  // JSON has no Infinity literal
+  }
+  char buf[48];
+  std::snprintf(buf, sizeof(buf), "%.9g", v);
+  if (std::strtod(buf, nullptr) != v) {
+    std::snprintf(buf, sizeof(buf), "%.17g", v);
+  }
+  return buf;
+}
+
+// --- Builders ---------------------------------------------------------------
+
+void JsonObj::Key(std::string_view key) {
+  if (!body_.empty()) {
+    body_ += ",";
+  }
+  body_ += JsonQuote(key);
+  body_ += ":";
+}
+
+JsonObj& JsonObj::Field(std::string_view key, double v) {
+  Key(key);
+  body_ += JsonNumber(v);
+  return *this;
+}
+
+JsonObj& JsonObj::Field(std::string_view key, int64_t v) {
+  Key(key);
+  body_ += std::to_string(v);
+  return *this;
+}
+
+JsonObj& JsonObj::Field(std::string_view key, uint64_t v) {
+  Key(key);
+  body_ += std::to_string(v);
+  return *this;
+}
+
+JsonObj& JsonObj::Field(std::string_view key, bool v) {
+  Key(key);
+  body_ += v ? "true" : "false";
+  return *this;
+}
+
+JsonObj& JsonObj::Field(std::string_view key, std::string_view s) {
+  Key(key);
+  body_ += JsonQuote(s);
+  return *this;
+}
+
+JsonObj& JsonObj::FieldRaw(std::string_view key, std::string_view raw_json) {
+  Key(key);
+  body_ += raw_json;
+  return *this;
+}
+
+void JsonArr::Sep() {
+  if (!body_.empty()) {
+    body_ += ",";
+  }
+  ++count_;
+}
+
+JsonArr& JsonArr::Add(double v) {
+  Sep();
+  body_ += JsonNumber(v);
+  return *this;
+}
+
+JsonArr& JsonArr::Add(int64_t v) {
+  Sep();
+  body_ += std::to_string(v);
+  return *this;
+}
+
+JsonArr& JsonArr::Add(std::string_view s) {
+  Sep();
+  body_ += JsonQuote(s);
+  return *this;
+}
+
+JsonArr& JsonArr::AddRaw(std::string_view raw_json) {
+  Sep();
+  body_ += raw_json;
+  return *this;
+}
+
+// --- Parser -----------------------------------------------------------------
+
+const JsonValue* JsonValue::Find(std::string_view key) const {
+  if (kind != Kind::kObject) {
+    return nullptr;
+  }
+  for (const auto& [name, value] : members) {
+    if (name == key) {
+      return &value;
+    }
+  }
+  return nullptr;
+}
+
+double JsonValue::NumberOr(std::string_view key, double fallback) const {
+  const JsonValue* v = Find(key);
+  return v != nullptr && v->kind == Kind::kNumber ? v->number : fallback;
+}
+
+int64_t JsonValue::IntOr(std::string_view key, int64_t fallback) const {
+  const JsonValue* v = Find(key);
+  return v != nullptr && v->kind == Kind::kNumber
+             ? static_cast<int64_t>(std::llround(v->number))
+             : fallback;
+}
+
+std::string JsonValue::StringOr(std::string_view key,
+                                std::string_view fallback) const {
+  const JsonValue* v = Find(key);
+  return v != nullptr && v->kind == Kind::kString ? v->string
+                                                  : std::string(fallback);
+}
+
+bool JsonValue::BoolOr(std::string_view key, bool fallback) const {
+  const JsonValue* v = Find(key);
+  return v != nullptr && v->kind == Kind::kBool ? v->bool_value : fallback;
+}
+
+namespace {
+
+constexpr int kMaxDepth = 64;
+
+struct Parser {
+  std::string_view text;
+  size_t pos = 0;
+  std::string error;
+
+  bool Fail(const std::string& message) {
+    if (error.empty()) {
+      error = message + " at offset " + std::to_string(pos);
+    }
+    return false;
+  }
+
+  void SkipWs() {
+    while (pos < text.size()) {
+      char c = text[pos];
+      if (c != ' ' && c != '\t' && c != '\n' && c != '\r') {
+        break;
+      }
+      ++pos;
+    }
+  }
+
+  bool Consume(char c) {
+    if (pos < text.size() && text[pos] == c) {
+      ++pos;
+      return true;
+    }
+    return false;
+  }
+
+  bool Literal(std::string_view word) {
+    if (text.substr(pos, word.size()) == word) {
+      pos += word.size();
+      return true;
+    }
+    return Fail("invalid literal");
+  }
+
+  // Appends `cp` (a Unicode scalar value) to `out` as UTF-8.
+  static void AppendUtf8(uint32_t cp, std::string* out) {
+    if (cp < 0x80) {
+      out->push_back(static_cast<char>(cp));
+    } else if (cp < 0x800) {
+      out->push_back(static_cast<char>(0xC0 | (cp >> 6)));
+      out->push_back(static_cast<char>(0x80 | (cp & 0x3F)));
+    } else if (cp < 0x10000) {
+      out->push_back(static_cast<char>(0xE0 | (cp >> 12)));
+      out->push_back(static_cast<char>(0x80 | ((cp >> 6) & 0x3F)));
+      out->push_back(static_cast<char>(0x80 | (cp & 0x3F)));
+    } else {
+      out->push_back(static_cast<char>(0xF0 | (cp >> 18)));
+      out->push_back(static_cast<char>(0x80 | ((cp >> 12) & 0x3F)));
+      out->push_back(static_cast<char>(0x80 | ((cp >> 6) & 0x3F)));
+      out->push_back(static_cast<char>(0x80 | (cp & 0x3F)));
+    }
+  }
+
+  bool Hex4(uint32_t* out) {
+    if (pos + 4 > text.size()) {
+      return Fail("truncated \\u escape");
+    }
+    uint32_t value = 0;
+    for (int i = 0; i < 4; ++i) {
+      char c = text[pos++];
+      value <<= 4;
+      if (c >= '0' && c <= '9') {
+        value |= static_cast<uint32_t>(c - '0');
+      } else if (c >= 'a' && c <= 'f') {
+        value |= static_cast<uint32_t>(c - 'a' + 10);
+      } else if (c >= 'A' && c <= 'F') {
+        value |= static_cast<uint32_t>(c - 'A' + 10);
+      } else {
+        return Fail("bad hex digit in \\u escape");
+      }
+    }
+    *out = value;
+    return true;
+  }
+
+  bool ParseString(std::string* out) {
+    if (!Consume('"')) {
+      return Fail("expected string");
+    }
+    out->clear();
+    while (true) {
+      if (pos >= text.size()) {
+        return Fail("unterminated string");
+      }
+      char c = text[pos++];
+      if (c == '"') {
+        return true;
+      }
+      if (static_cast<unsigned char>(c) < 0x20) {
+        return Fail("raw control character in string");
+      }
+      if (c != '\\') {
+        out->push_back(c);
+        continue;
+      }
+      if (pos >= text.size()) {
+        return Fail("truncated escape");
+      }
+      char e = text[pos++];
+      switch (e) {
+        case '"':
+          out->push_back('"');
+          break;
+        case '\\':
+          out->push_back('\\');
+          break;
+        case '/':
+          out->push_back('/');
+          break;
+        case 'b':
+          out->push_back('\b');
+          break;
+        case 'f':
+          out->push_back('\f');
+          break;
+        case 'n':
+          out->push_back('\n');
+          break;
+        case 'r':
+          out->push_back('\r');
+          break;
+        case 't':
+          out->push_back('\t');
+          break;
+        case 'u': {
+          uint32_t cp = 0;
+          if (!Hex4(&cp)) {
+            return false;
+          }
+          // Surrogate pair: a high surrogate must be followed by \uDC00..
+          if (cp >= 0xD800 && cp < 0xDC00 &&
+              text.substr(pos, 2) == "\\u") {
+            size_t save = pos;
+            pos += 2;
+            uint32_t low = 0;
+            if (!Hex4(&low)) {
+              return false;
+            }
+            if (low >= 0xDC00 && low < 0xE000) {
+              cp = 0x10000 + ((cp - 0xD800) << 10) + (low - 0xDC00);
+            } else {
+              pos = save;  // lone surrogate; keep it as-is
+            }
+          }
+          AppendUtf8(cp, out);
+          break;
+        }
+        default:
+          return Fail("unknown escape");
+      }
+    }
+  }
+
+  bool ParseNumber(double* out) {
+    size_t start = pos;
+    if (pos < text.size() && text[pos] == '-') {
+      ++pos;
+    }
+    while (pos < text.size() &&
+           (std::isdigit(static_cast<unsigned char>(text[pos])) ||
+            text[pos] == '.' || text[pos] == 'e' || text[pos] == 'E' ||
+            text[pos] == '+' || text[pos] == '-')) {
+      ++pos;
+    }
+    if (pos == start) {
+      return Fail("expected number");
+    }
+    std::string token(text.substr(start, pos - start));
+    char* end = nullptr;
+    *out = std::strtod(token.c_str(), &end);
+    if (end == nullptr || *end != '\0') {
+      pos = start;
+      return Fail("malformed number");
+    }
+    return true;
+  }
+
+  bool ParseValue(JsonValue* out, int depth) {
+    if (depth > kMaxDepth) {
+      return Fail("nesting too deep");
+    }
+    SkipWs();
+    if (pos >= text.size()) {
+      return Fail("unexpected end of input");
+    }
+    char c = text[pos];
+    if (c == '{') {
+      ++pos;
+      out->kind = JsonValue::Kind::kObject;
+      SkipWs();
+      if (Consume('}')) {
+        return true;
+      }
+      while (true) {
+        SkipWs();
+        std::string key;
+        if (!ParseString(&key)) {
+          return false;
+        }
+        SkipWs();
+        if (!Consume(':')) {
+          return Fail("expected ':'");
+        }
+        JsonValue value;
+        if (!ParseValue(&value, depth + 1)) {
+          return false;
+        }
+        out->members.emplace_back(std::move(key), std::move(value));
+        SkipWs();
+        if (Consume(',')) {
+          continue;
+        }
+        if (Consume('}')) {
+          return true;
+        }
+        return Fail("expected ',' or '}'");
+      }
+    }
+    if (c == '[') {
+      ++pos;
+      out->kind = JsonValue::Kind::kArray;
+      SkipWs();
+      if (Consume(']')) {
+        return true;
+      }
+      while (true) {
+        JsonValue value;
+        if (!ParseValue(&value, depth + 1)) {
+          return false;
+        }
+        out->items.push_back(std::move(value));
+        SkipWs();
+        if (Consume(',')) {
+          continue;
+        }
+        if (Consume(']')) {
+          return true;
+        }
+        return Fail("expected ',' or ']'");
+      }
+    }
+    if (c == '"') {
+      out->kind = JsonValue::Kind::kString;
+      return ParseString(&out->string);
+    }
+    if (c == 't') {
+      out->kind = JsonValue::Kind::kBool;
+      out->bool_value = true;
+      return Literal("true");
+    }
+    if (c == 'f') {
+      out->kind = JsonValue::Kind::kBool;
+      out->bool_value = false;
+      return Literal("false");
+    }
+    if (c == 'n') {
+      out->kind = JsonValue::Kind::kNull;
+      return Literal("null");
+    }
+    out->kind = JsonValue::Kind::kNumber;
+    return ParseNumber(&out->number);
+  }
+};
+
+}  // namespace
+
+bool JsonParse(std::string_view text, JsonValue* out, std::string* error) {
+  Parser parser{text, 0, {}};
+  *out = JsonValue{};
+  bool ok = parser.ParseValue(out, 0);
+  if (ok) {
+    parser.SkipWs();
+    if (parser.pos != text.size()) {
+      ok = parser.Fail("trailing garbage");
+    }
+  }
+  if (!ok && error != nullptr) {
+    *error = parser.error;
+  }
+  return ok;
+}
+
+}  // namespace tetrisched

@@ -1,0 +1,127 @@
+// Minimal JSON utilities shared by every exporter (metrics, trace spans,
+// bench records, decision provenance) and by the explain CLI.
+//
+// Emission side: JsonEscape/JsonQuote implement the full RFC 8259 string
+// escaping rules (quotes, backslashes, and every control character below
+// 0x20; non-ASCII bytes pass through as UTF-8), JsonNumber formats doubles
+// with the repo-wide convention that infinities become the out-of-range
+// literal 1e999, and JsonObj/JsonArr are tiny append-only builders for
+// hand-rolled exports.
+//
+// Parse side: JsonValue + JsonParse form a small recursive-descent parser
+// covering the full JSON grammar (objects, arrays, strings with \uXXXX
+// escapes, numbers, booleans, null). It exists for round-trip tests and the
+// provenance explain tooling, not for speed; inputs are artifacts this repo
+// itself wrote.
+
+#ifndef TETRISCHED_COMMON_JSON_H_
+#define TETRISCHED_COMMON_JSON_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+namespace tetrisched {
+
+// Escapes `s` for inclusion inside a JSON string literal (no surrounding
+// quotes). Control characters use the short escapes where JSON defines them
+// (\b \f \n \r \t) and \u00XX otherwise; bytes >= 0x20 other than '"' and
+// '\\' pass through unchanged (UTF-8 sequences are legal JSON as-is).
+std::string JsonEscape(std::string_view s);
+
+// `"` + JsonEscape(s) + `"`.
+std::string JsonQuote(std::string_view s);
+
+// Shortest round-trippable rendering of `v` (%.17g trimmed via %.9g first);
+// infinities render as the out-of-range literal 1e999 / -1e999 and NaN as
+// null, since JSON has no literals for either.
+std::string JsonNumber(double v);
+
+// --- Builders ---------------------------------------------------------------
+
+class JsonArr;
+
+// Append-only JSON object builder:
+//   JsonObj().Field("job", 7).Field("kind", "offered").str()
+class JsonObj {
+ public:
+  JsonObj& Field(std::string_view key, double v);
+  JsonObj& Field(std::string_view key, int64_t v);
+  JsonObj& Field(std::string_view key, int v) {
+    return Field(key, static_cast<int64_t>(v));
+  }
+  JsonObj& Field(std::string_view key, uint64_t v);
+  JsonObj& Field(std::string_view key, bool v);
+  JsonObj& Field(std::string_view key, std::string_view s);
+  JsonObj& Field(std::string_view key, const char* s) {
+    return Field(key, std::string_view(s));
+  }
+  // Splices `raw_json` verbatim as the value (caller guarantees validity).
+  JsonObj& FieldRaw(std::string_view key, std::string_view raw_json);
+
+  bool empty() const { return body_.empty(); }
+  std::string str() const { return "{" + body_ + "}"; }
+
+ private:
+  void Key(std::string_view key);
+  std::string body_;
+};
+
+class JsonArr {
+ public:
+  JsonArr& Add(double v);
+  JsonArr& Add(int64_t v);
+  JsonArr& Add(std::string_view s);
+  JsonArr& AddRaw(std::string_view raw_json);
+
+  bool empty() const { return body_.empty(); }
+  size_t size() const { return count_; }
+  std::string str() const { return "[" + body_ + "]"; }
+
+ private:
+  void Sep();
+  std::string body_;
+  size_t count_ = 0;
+};
+
+// --- Parser -----------------------------------------------------------------
+
+// Parsed JSON document. Object member order is preserved (duplicate keys are
+// kept; Find returns the first).
+struct JsonValue {
+  enum class Kind { kNull, kBool, kNumber, kString, kArray, kObject };
+
+  Kind kind = Kind::kNull;
+  bool bool_value = false;
+  double number = 0.0;
+  std::string string;
+  std::vector<JsonValue> items;                              // kArray
+  std::vector<std::pair<std::string, JsonValue>> members;    // kObject
+
+  bool is_null() const { return kind == Kind::kNull; }
+  bool is_object() const { return kind == Kind::kObject; }
+  bool is_array() const { return kind == Kind::kArray; }
+  bool is_string() const { return kind == Kind::kString; }
+  bool is_number() const { return kind == Kind::kNumber; }
+
+  // First member named `key`, or nullptr (also when not an object).
+  const JsonValue* Find(std::string_view key) const;
+
+  // Typed lookups with defaults, for tolerant consumers.
+  double NumberOr(std::string_view key, double fallback) const;
+  int64_t IntOr(std::string_view key, int64_t fallback) const;
+  std::string StringOr(std::string_view key, std::string_view fallback) const;
+  bool BoolOr(std::string_view key, bool fallback) const;
+};
+
+// Parses exactly one JSON document (trailing whitespace allowed, trailing
+// garbage rejected). On failure returns false and, when `error` is non-null,
+// stores a message with the byte offset of the problem.
+bool JsonParse(std::string_view text, JsonValue* out,
+               std::string* error = nullptr);
+
+}  // namespace tetrisched
+
+#endif  // TETRISCHED_COMMON_JSON_H_

@@ -5,6 +5,8 @@
 #include <cstdio>
 #include <limits>
 
+#include "src/common/json.h"
+
 namespace tetrisched {
 
 namespace metrics_internal {
@@ -49,18 +51,6 @@ std::string FormatNumber(double v) {
   char buf[48];
   std::snprintf(buf, sizeof(buf), "%.9g", v);
   return buf;
-}
-
-std::string JsonEscape(const std::string& s) {
-  std::string out;
-  out.reserve(s.size());
-  for (char c : s) {
-    if (c == '"' || c == '\\') {
-      out.push_back('\\');
-    }
-    out.push_back(c);
-  }
-  return out;
 }
 
 }  // namespace

@@ -5,6 +5,8 @@
 #include <cstring>
 #include <thread>
 
+#include "src/common/json.h"
+
 namespace tetrisched {
 namespace span_internal {
 
@@ -114,7 +116,7 @@ std::string SpanCollector::ToChromeTraceJson() const {
       out += ",";
     }
     out += "\n  {\"name\": \"";
-    out += span.name;
+    out += JsonEscape(span.name);
     out += "\", \"cat\": \"tetrisched\", \"ph\": \"X\", \"ts\": " +
            std::to_string(span.start_us) +
            ", \"dur\": " + std::to_string(span.duration_us) +

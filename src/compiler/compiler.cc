@@ -21,6 +21,10 @@ struct StrlCompileAccess {
   static std::map<LeafTag, int>& tags(CompiledStrl& c) {
     return c.tag_to_leaf_;
   }
+  static std::vector<SupplyRowRef>& supply_rows(CompiledStrl& c) {
+    return c.supply_rows_;
+  }
+  static TimeGrid& grid(CompiledStrl& c) { return c.grid_; }
   static VarId& root(CompiledStrl& c) { return c.root_indicator_; }
 };
 
@@ -262,17 +266,66 @@ CompiledStrl StrlCompiler::Compile(const StrlExpr& root) {
     StrlCompileAccess::model(out).AddObjectiveTerm(term.var, term.coeff);
   }
 
-  // (Supply) per partition per slice: usage <= available capacity.
+  // (Supply) per partition per slice: usage <= available capacity. Row ids
+  // plus slice geometry are retained so the scheduler can later ask which
+  // saturated rows blocked a rejected job's alternatives.
+  StrlCompileAccess::grid(out) = availability_.grid();
   for (auto& [key, terms] : ctx.used) {
     auto [partition, slice] = key;
     double avail =
         std::max(0, availability_.avail(partition, slice));
-    StrlCompileAccess::model(out).AddConstraint(std::move(terms), ConstraintSense::kLessEqual,
-                             avail,
-                             "supply_p" + std::to_string(partition) + "_s" +
-                                 std::to_string(slice));
+    ConstraintId row = StrlCompileAccess::model(out).AddConstraint(
+        std::move(terms), ConstraintSense::kLessEqual, avail,
+        "supply_p" + std::to_string(partition) + "_s" +
+            std::to_string(slice));
+    StrlCompileAccess::supply_rows(out).push_back(
+        {row, partition, slice, availability_.grid().SliceStart(slice),
+         avail, 0.0});
   }
   return out;
+}
+
+std::vector<SupplyRowRef> CompiledStrl::BindingSupplyRows(
+    std::span<const double> values, double tol) const {
+  std::vector<SupplyRowRef> binding;
+  for (const SupplyRowRef& ref : supply_rows_) {
+    double activity = 0.0;
+    for (const LinTerm& term : model_.constraint_terms(ref.row)) {
+      activity += term.coeff * values[term.var];
+    }
+    if (activity >= ref.rhs - tol) {
+      SupplyRowRef hit = ref;
+      hit.activity = activity;
+      binding.push_back(hit);
+    }
+  }
+  return binding;
+}
+
+std::vector<SupplyRowRef> CompiledStrl::RowsTouchingLeaf(
+    LeafTag tag, const std::vector<SupplyRowRef>& rows) const {
+  std::vector<SupplyRowRef> touching;
+  auto it = tag_to_leaf_.find(tag);
+  if (it == tag_to_leaf_.end()) {
+    return touching;
+  }
+  const LeafInfo& leaf = leaves_[it->second];
+  auto [first, last] = grid_.ClippedSliceRange(leaf.start, leaf.duration);
+  for (const SupplyRowRef& ref : rows) {
+    if (ref.slice < first || ref.slice >= last) {
+      continue;
+    }
+    if (std::find(leaf.partitions.begin(), leaf.partitions.end(),
+                  ref.partition) != leaf.partitions.end()) {
+      touching.push_back(ref);
+    }
+  }
+  return touching;
+}
+
+bool CompiledStrl::LeafCulledAtCompile(LeafTag tag) const {
+  auto it = tag_to_leaf_.find(tag);
+  return it != tag_to_leaf_.end() && leaves_[it->second].partitions.empty();
 }
 
 std::vector<StrlAllocation> CompiledStrl::ExtractAllocations(

@@ -30,6 +30,19 @@
 
 namespace tetrisched {
 
+// One (partition, slice) capacity row of the compiled model, with enough
+// geometry to relate it back to job alternatives. Decision provenance uses
+// these to explain rejected jobs: a row whose LHS activity reaches its RHS
+// in the incumbent is *binding* — the resource was saturated there.
+struct SupplyRowRef {
+  ConstraintId row = -1;
+  PartitionId partition = -1;
+  int slice = 0;
+  SimTime slice_start = 0;
+  double rhs = 0.0;       // available capacity
+  double activity = 0.0;  // LHS value under the queried assignment
+};
+
 // One chosen leaf in a solved schedule.
 struct StrlAllocation {
   LeafTag tag = kNoTag;
@@ -72,6 +85,24 @@ class CompiledStrl {
   // infeasible warm starts.
   std::vector<double> BuildWarmStart(const LeafGrants& grants) const;
 
+  // Every supply row of the model (activity fields left 0).
+  const std::vector<SupplyRowRef>& supply_rows() const { return supply_rows_; }
+
+  // Supply rows saturated under `values`: activity >= rhs - tol. `values`
+  // must be a full assignment (e.g. MilpResult::values).
+  std::vector<SupplyRowRef> BindingSupplyRows(std::span<const double> values,
+                                              double tol = 1e-6) const;
+
+  // Subset of `rows` that constrain leaf `tag`: rows whose partition the
+  // leaf may draw from and whose slice overlaps the leaf's interval.
+  std::vector<SupplyRowRef> RowsTouchingLeaf(
+      LeafTag tag, const std::vector<SupplyRowRef>& rows) const;
+
+  // True when the leaf was culled at compile time (no partition had any
+  // headroom over its interval), i.e. the option was capacity-blocked
+  // before the solver ever saw it.
+  bool LeafCulledAtCompile(LeafTag tag) const;
+
  private:
   friend class StrlCompiler;
   friend struct StrlCompileAccess;  // implementation backdoor (compiler.cc)
@@ -96,6 +127,8 @@ class CompiledStrl {
   MilpModel model_;
   std::vector<LeafInfo> leaves_;
   std::map<LeafTag, int> tag_to_leaf_;
+  std::vector<SupplyRowRef> supply_rows_;
+  TimeGrid grid_;  // copy of the compile-time grid, for row geometry
   VarId root_indicator_ = -1;
 };
 

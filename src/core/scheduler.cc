@@ -6,11 +6,13 @@
 #include <limits>
 
 #include "src/common/bytes.h"
+#include "src/common/json.h"
 #include "src/common/logging.h"
 #include "src/common/metrics.h"
 #include "src/common/span.h"
 #include "src/compiler/compiler.h"
 #include "src/core/plan_check.h"
+#include "src/obs/provenance.h"
 #include "src/solver/certify.h"
 
 namespace tetrisched {
@@ -45,6 +47,12 @@ struct CycleInstruments {
   Counter* overrun_commit;
   Counter* plan_ahead_adaptations;
   Gauge* effective_plan_ahead;
+  // Degradation-ladder and preemption audit (one rung counter fires per
+  // non-empty cycle; rung 1/2 refine the existing fallback/skipped pair).
+  Counter* rung0_cycles;
+  Counter* rung1_cycles;
+  Counter* rung2_cycles;
+  Counter* preemptions;
 };
 
 CycleInstruments& Instruments() {
@@ -69,6 +77,10 @@ CycleInstruments& Instruments() {
       registry.GetCounter("tetrisched_budget_overrun_commit_total"),
       registry.GetCounter("tetrisched_plan_ahead_adaptations_total"),
       registry.GetGauge("tetrisched_effective_plan_ahead"),
+      registry.GetCounter("tetrisched_ladder_rung0_cycles_total"),
+      registry.GetCounter("tetrisched_ladder_rung1_cycles_total"),
+      registry.GetCounter("tetrisched_ladder_rung2_cycles_total"),
+      registry.GetCounter("tetrisched_preemptions_total"),
   };
   return instruments;
 }
@@ -84,6 +96,54 @@ int QueueRank(const Job& job) {
       return 2;
   }
   return 2;
+}
+
+// Emits one kOffered provenance record per job with the full alternative
+// set the STRL generator produced (tag, kind, start, duration, k, value).
+// Callers gate on recorder.enabled().
+void RecordOffers(ProvenanceRecorder& recorder, SimTime now,
+                  const OptionRegistry& registry,
+                  const std::vector<const Job*>& pending) {
+  std::map<JobId, int> job_k;
+  for (const Job* job : pending) {
+    job_k[job->id] = job->k;
+  }
+  std::map<JobId, JsonArr> offers;
+  for (const auto& [tag, option] : registry) {
+    offers[option.job].AddRaw(JsonObj()
+                                  .Field("tag", tag)
+                                  .Field("kind",
+                                         OptionKindName(option.option_kind))
+                                  .Field("start", option.start)
+                                  .Field("duration", option.est_duration)
+                                  .Field("k", job_k[option.job])
+                                  .Field("value", option.value)
+                                  .Field("preferred", option.preferred)
+                                  .str());
+  }
+  for (auto& [job, alternatives] : offers) {
+    ProvenanceRecord record;
+    record.kind = ProvKind::kOffered;
+    record.time = now;
+    record.job = job;
+    record.value = static_cast<double>(alternatives.size());
+    record.detail = alternatives.str();
+    recorder.Record(std::move(record));
+  }
+}
+
+// Emits kCulled records for jobs the generator dropped (no positive-value
+// option within the window).
+void RecordCulls(ProvenanceRecorder& recorder, SimTime now,
+                 const std::vector<JobId>& dropped) {
+  for (JobId job : dropped) {
+    ProvenanceRecord record;
+    record.kind = ProvKind::kCulled;
+    record.time = now;
+    record.job = job;
+    record.label = "no-positive-value-option";
+    recorder.Record(std::move(record));
+  }
 }
 
 // Min free nodes of `partition` across the slices overlapped by
@@ -258,6 +318,12 @@ TetriScheduler::Decision TetriScheduler::OnCycle(
     return decision;
   }
   Instruments().cycles->Increment();
+  ProvenanceRecorder& recorder = ProvenanceRecorder::Global();
+  if (recorder.enabled()) {
+    // A cycle planned under an AIMD-shrunken window is degraded: jobs it
+    // touches inherit the taint for budget-degraded SLO-miss attribution.
+    recorder.BeginCycle(now, effective_plan_ahead_ < config_.plan_ahead);
+  }
 
   auto availability_start = Clock::now();
   AvailabilityGrid availability = [&] {
@@ -320,6 +386,23 @@ TetriScheduler::Decision TetriScheduler::OnCycle(
         AvailabilityGrid retry = BuildAvailability(now, surviving);
         decision = GlobalCycle(now, pending, retry, &planned);
         decision.preempt.assign(preempted.begin(), preempted.end());
+        Instruments().preemptions->Increment(
+            static_cast<int64_t>(preempted.size()));
+        if (recorder.enabled()) {
+          JsonArr victims_json;
+          for (JobId victim : preempted) {
+            victims_json.Add(static_cast<int64_t>(victim));
+          }
+          ProvenanceRecord record;
+          record.kind = ProvKind::kPreemptRescue;
+          record.time = now;
+          record.job = stranded->id;
+          record.label = "youngest-be-first";
+          record.value = static_cast<double>(freed);
+          record.detail =
+              JsonObj().FieldRaw("victims", victims_json.str()).str();
+          recorder.Record(std::move(record));
+        }
       }
     }
   }
@@ -349,6 +432,14 @@ TetriScheduler::Decision TetriScheduler::OnCycle(
     decision.stats.used_fallback = true;
     decision.stats.ladder_rung = 1;
     previous_plan_.clear();  // nothing from the failed solve is trustworthy
+    if (recorder.enabled()) {
+      ProvenanceRecord record;
+      record.kind = ProvKind::kFallback;
+      record.time = now;
+      record.label = "no-incumbent";
+      record.value = 1.0;  // ladder rung entered
+      recorder.Record(std::move(record));
+    }
   }
 
   // Pre-commit plan validation (defense in depth): a plan violating ledger
@@ -384,6 +475,14 @@ TetriScheduler::Decision TetriScheduler::OnCycle(
       decision.start_now = first_fit();
       decision.stats.used_fallback = true;
       decision.stats.ladder_rung = 1;
+      if (recorder.enabled()) {
+        ProvenanceRecord record;
+        record.kind = ProvKind::kFallback;
+        record.time = now;
+        record.label = "validator-reject";
+        record.value = 1.0;
+        recorder.Record(std::move(record));
+      }
       violations = validate();
       decision.stats.validator_rejects += static_cast<int>(violations.size());
     }
@@ -392,6 +491,14 @@ TetriScheduler::Decision TetriScheduler::OnCycle(
       // replan next cycle.
       decision.start_now.clear();
       decision.stats.ladder_rung = 2;
+      if (recorder.enabled()) {
+        ProvenanceRecord record;
+        record.kind = ProvKind::kFallback;
+        record.time = now;
+        record.label = "validator-reject";
+        record.value = 2.0;  // cycle skipped entirely
+        recorder.Record(std::move(record));
+      }
     }
   }
 
@@ -446,6 +553,19 @@ TetriScheduler::Decision TetriScheduler::OnCycle(
                        << " to " << effective_plan_ahead_
                        << " (AIMD level " << aimd_.level() << ", rel_gap "
                        << effective_rel_gap_ << ")";
+      if (recorder.enabled()) {
+        ProvenanceRecord record;
+        record.kind = ProvKind::kPlanAheadAdapt;
+        record.time = now;
+        record.label =
+            decision.stats.plan_ahead_adapted < 0 ? "shrunk" : "restored";
+        record.value = static_cast<double>(effective_plan_ahead_);
+        record.detail = JsonObj()
+                            .Field("aimd_level", aimd_.level())
+                            .Field("rel_gap", effective_rel_gap_)
+                            .str();
+        recorder.Record(std::move(record));
+      }
     }
   }
   decision.stats.effective_plan_ahead = effective_plan_ahead_;
@@ -464,6 +584,17 @@ TetriScheduler::Decision TetriScheduler::OnCycle(
   }
   if (decision.stats.ladder_rung == 2) {
     instruments.skipped_cycles->Increment();
+  }
+  switch (decision.stats.ladder_rung) {
+    case 0:
+      instruments.rung0_cycles->Increment();
+      break;
+    case 1:
+      instruments.rung1_cycles->Increment();
+      break;
+    default:
+      instruments.rung2_cycles->Increment();
+      break;
   }
   if (decision.stats.validator_rejects > 0) {
     instruments.validator_rejects->Increment(decision.stats.validator_rejects);
@@ -498,6 +629,11 @@ TetriScheduler::Decision TetriScheduler::GlobalCycle(
     }
   }
   decision.stats.strl_gen_seconds = Seconds(strl_gen_start, Clock::now());
+  ProvenanceRecorder& recorder = ProvenanceRecorder::Global();
+  if (recorder.enabled()) {
+    RecordOffers(recorder, now, registry, pending);
+    RecordCulls(recorder, now, decision.drop);
+  }
   if (job_exprs.empty()) {
     previous_plan_.clear();
     return decision;
@@ -531,6 +667,22 @@ TetriScheduler::Decision TetriScheduler::GlobalCycle(
   decision.stats.milp_components = result.components;
   decision.stats.decompose_ms = result.decompose_ms;
   decision.stats.solve_status = result.solve_status;
+  if (recorder.enabled()) {
+    ProvenanceRecord record;
+    record.kind = ProvKind::kSolve;
+    record.time = now;
+    record.label = ToString(result.solve_status);
+    record.value = result.objective;
+    record.detail = JsonObj()
+                        .Field("vars", compiled.model().num_vars())
+                        .Field("constraints",
+                               compiled.model().num_constraints())
+                        .Field("nodes", result.nodes)
+                        .Field("components", result.components)
+                        .Field("solve_seconds", result.solve_seconds)
+                        .str();
+    recorder.Record(std::move(record));
+  }
   previous_plan_.clear();
   if (!result.HasSolution()) {
     // OnCycle reads stats.solve_status and replans the cycle greedily.
@@ -553,6 +705,14 @@ TetriScheduler::Decision TetriScheduler::GlobalCycle(
                           << report.failure;
       decision.stats.certifier_rejects += 1;
       decision.stats.solve_status = SolveStatus::kNoIncumbent;
+      if (recorder.enabled()) {
+        ProvenanceRecord record;
+        record.kind = ProvKind::kCertifierReject;
+        record.time = now;
+        record.label = report.failure;
+        record.value = static_cast<double>(report.violated_rows);
+        recorder.Record(std::move(record));
+      }
       return decision;
     }
   }
@@ -562,8 +722,9 @@ TetriScheduler::Decision TetriScheduler::GlobalCycle(
   TETRI_SPAN("scheduler.commit");
   auto commit_start = Clock::now();
   std::map<JobId, Placement> starting;
-  for (const StrlAllocation& alloc :
-       compiled.ExtractAllocations(result.values)) {
+  std::vector<StrlAllocation> allocations =
+      compiled.ExtractAllocations(result.values);
+  for (const StrlAllocation& alloc : allocations) {
     auto option_it = registry.find(alloc.tag);
     if (option_it == registry.end()) {
       continue;  // untagged leaf (not produced by the generator)
@@ -571,6 +732,23 @@ TetriScheduler::Decision TetriScheduler::GlobalCycle(
     const JobOption& option = option_it->second;
     if (planned != nullptr) {
       planned->insert(option.job);
+    }
+    if (recorder.enabled()) {
+      ProvenanceRecord record;
+      record.kind = option.start > now ? ProvKind::kDeferred
+                                       : ProvKind::kChosen;
+      record.time = now;
+      record.job = option.job;
+      record.label = OptionKindName(option.option_kind);
+      record.value = option.value;  // this leaf's objective contribution
+      record.detail = JsonObj()
+                          .Field("tag", alloc.tag)
+                          .Field("start", option.start)
+                          .Field("duration", option.est_duration)
+                          .Field("nodes", alloc.total_nodes())
+                          .Field("preferred", option.preferred)
+                          .str();
+      recorder.Record(std::move(record));
     }
     if (option.start > now) {
       previous_plan_[alloc.tag] = alloc.counts;
@@ -587,6 +765,68 @@ TetriScheduler::Decision TetriScheduler::GlobalCycle(
   }
   for (auto& [job, placement] : starting) {
     decision.start_now.push_back(std::move(placement));
+  }
+
+  if (recorder.enabled()) {
+    // Rejected jobs: offered alternatives but the incumbent allocated
+    // nothing. Classify each via the saturated supply rows of the incumbent:
+    // if every alternative was either culled at compile time (zero headroom)
+    // or touches a binding row, the job was blocked by capacity; otherwise
+    // it was outbid by higher-value jobs.
+    std::set<JobId> allocated;
+    for (const StrlAllocation& alloc : allocations) {
+      auto option_it = registry.find(alloc.tag);
+      if (option_it != registry.end()) {
+        allocated.insert(option_it->second.job);
+      }
+    }
+    std::map<JobId, std::vector<LeafTag>> job_tags;
+    for (const auto& [tag, option] : registry) {
+      job_tags[option.job].push_back(tag);
+    }
+    std::vector<SupplyRowRef> binding =
+        compiled.BindingSupplyRows(result.values);
+    for (const auto& [job, tags] : job_tags) {
+      if (allocated.count(job) != 0) {
+        continue;
+      }
+      int blocked = 0;
+      JsonArr rows_json;
+      std::set<ConstraintId> seen_rows;
+      for (LeafTag tag : tags) {
+        bool tag_blocked = compiled.LeafCulledAtCompile(tag);
+        if (!tag_blocked) {
+          for (const SupplyRowRef& row :
+               compiled.RowsTouchingLeaf(tag, binding)) {
+            tag_blocked = true;
+            if (seen_rows.insert(row.row).second && rows_json.size() < 8) {
+              rows_json.AddRaw(JsonObj()
+                                   .Field("partition", row.partition)
+                                   .Field("slice_start", row.slice_start)
+                                   .Field("rhs", row.rhs)
+                                   .Field("activity", row.activity)
+                                   .str());
+            }
+          }
+        }
+        if (tag_blocked) {
+          ++blocked;
+        }
+      }
+      ProvenanceRecord record;
+      record.kind = ProvKind::kRejected;
+      record.time = now;
+      record.job = job;
+      record.label =
+          blocked == static_cast<int>(tags.size()) ? "capacity" : "outbid";
+      record.detail =
+          JsonObj()
+              .Field("alternatives", static_cast<int64_t>(tags.size()))
+              .Field("blocked", blocked)
+              .FieldRaw("binding_rows", rows_json.str())
+              .str();
+      recorder.Record(std::move(record));
+    }
   }
   decision.stats.commit_seconds = Seconds(commit_start, Clock::now());
   return decision;
@@ -642,6 +882,7 @@ TetriScheduler::Decision TetriScheduler::GreedyCycle(
     SimTime now, const std::vector<const Job*>& pending,
     AvailabilityGrid& availability) {
   Decision decision;
+  ProvenanceRecorder& recorder = ProvenanceRecorder::Global();
 
   // Three FIFO queues in priority order: accepted SLO, unreserved SLO, BE.
   std::vector<const Job*> ordered(pending.begin(), pending.end());
@@ -663,7 +904,15 @@ TetriScheduler::Decision TetriScheduler::GreedyCycle(
     decision.stats.strl_gen_seconds += Seconds(strl_gen_start, Clock::now());
     if (!expr.has_value()) {
       decision.drop.push_back(job->id);
+      if (recorder.enabled()) {
+        RecordCulls(recorder, now, {job->id});
+      }
       continue;
+    }
+    if (recorder.enabled()) {
+      // The per-job registry holds only this job's tags, so this emits
+      // exactly one kOffered record.
+      RecordOffers(recorder, now, registry, pending);
     }
 
     auto compile_start = Clock::now();
@@ -687,6 +936,14 @@ TetriScheduler::Decision TetriScheduler::GreedyCycle(
     decision.stats.solve_status =
         WorstStatus(decision.stats.solve_status, result.solve_status);
     if (!result.HasSolution() || result.objective <= 0.0) {
+      if (recorder.enabled()) {
+        ProvenanceRecord record;
+        record.kind = ProvKind::kRejected;
+        record.time = now;
+        record.job = job->id;
+        record.label = "no-feasible-option";
+        recorder.Record(std::move(record));
+      }
       continue;  // nothing schedulable for this job within the window
     }
 
@@ -706,6 +963,23 @@ TetriScheduler::Decision TetriScheduler::GreedyCycle(
         availability.Reduce(partition,
                             {alloc.start, alloc.start + alloc.duration},
                             count);
+      }
+      if (recorder.enabled()) {
+        ProvenanceRecord record;
+        record.kind = option.start > now ? ProvKind::kDeferred
+                                         : ProvKind::kChosen;
+        record.time = now;
+        record.job = option.job;
+        record.label = OptionKindName(option.option_kind);
+        record.value = option.value;
+        record.detail = JsonObj()
+                            .Field("tag", alloc.tag)
+                            .Field("start", option.start)
+                            .Field("duration", option.est_duration)
+                            .Field("nodes", alloc.total_nodes())
+                            .Field("preferred", option.preferred)
+                            .str();
+        recorder.Record(std::move(record));
       }
       if (option.start <= now) {
         starts_now = true;

@@ -18,6 +18,16 @@ constexpr int kKindRackBase = 2;  // + rack id
 
 }  // namespace
 
+std::string OptionKindName(int option_kind) {
+  if (option_kind == kKindPreferred) {
+    return "preferred";
+  }
+  if (option_kind == kKindFallback) {
+    return "fallback";
+  }
+  return "rack" + std::to_string(option_kind - kKindRackBase);
+}
+
 StrlGenerator::StrlGenerator(const Cluster& cluster, StrlGenOptions options)
     : cluster_(cluster), options_(options) {
   assert(options_.quantum > 0 && options_.plan_ahead >= options_.quantum);
@@ -61,9 +71,9 @@ std::optional<StrlExpr> StrlGenerator::GenerateJobExpr(
   const bool het = options_.heterogeneity_aware;
 
   auto record = [&](LeafTag tag, SimTime start, SimDuration dur,
-                    bool preferred, double value) {
+                    bool preferred, double value, int kind) {
     if (registry != nullptr) {
-      (*registry)[tag] = JobOption{job.id, start, dur, preferred, value};
+      (*registry)[tag] = JobOption{job.id, start, dur, preferred, value, kind};
     }
   };
 
@@ -93,7 +103,7 @@ std::optional<StrlExpr> StrlGenerator::GenerateJobExpr(
           options.push_back(NCk(all, job.k, start, dur, v, tag));
           // In NH mode the scheduler plans with the conservative slow
           // runtime, i.e. it does not believe the placement is preferred.
-          record(tag, start, dur, /*preferred=*/het, v);
+          record(tag, start, dur, /*preferred=*/het, v, kKindPreferred);
         }
         break;
       }
@@ -106,12 +116,14 @@ std::optional<StrlExpr> StrlGenerator::GenerateJobExpr(
         if (v_fast > 0.0 && cluster_.CapacityOf(gpu) >= job.k) {
           LeafTag tag = MakeTag(job, start, kKindPreferred);
           options.push_back(NCk(gpu, job.k, start, fast, v_fast, tag));
-          record(tag, start, fast, /*preferred=*/true, v_fast);
+          record(tag, start, fast, /*preferred=*/true, v_fast,
+                 kKindPreferred);
         }
         if (v_slow > 0.0 && cluster_.CapacityOf(all) >= job.k) {
           LeafTag tag = MakeTag(job, start, kKindFallback);
           options.push_back(NCk(all, job.k, start, slow, v_slow, tag));
-          record(tag, start, slow, /*preferred=*/false, v_slow);
+          record(tag, start, slow, /*preferred=*/false, v_slow,
+                 kKindFallback);
         }
         break;
       }
@@ -126,13 +138,15 @@ std::optional<StrlExpr> StrlGenerator::GenerateJobExpr(
             LeafTag tag = MakeTag(job, start, kKindRackBase + rack);
             options.push_back(
                 NCk(std::move(rack_set), job.k, start, fast, v_fast, tag));
-            record(tag, start, fast, /*preferred=*/true, v_fast);
+            record(tag, start, fast, /*preferred=*/true, v_fast,
+                   kKindRackBase + rack);
           }
         }
         if (v_slow > 0.0 && cluster_.CapacityOf(all) >= job.k) {
           LeafTag tag = MakeTag(job, start, kKindFallback);
           options.push_back(NCk(all, job.k, start, slow, v_slow, tag));
-          record(tag, start, slow, /*preferred=*/false, v_slow);
+          record(tag, start, slow, /*preferred=*/false, v_slow,
+                 kKindFallback);
         }
         break;
       }
@@ -151,7 +165,8 @@ std::optional<StrlExpr> StrlGenerator::GenerateJobExpr(
             LeafTag tag = MakeTag(job, start, kKindRackBase + rack);
             legs.push_back(
                 NCk(std::move(rack_set), 1, start, fast, v_fast, tag));
-            record(tag, start, fast, /*preferred=*/true, v_fast);
+            record(tag, start, fast, /*preferred=*/true, v_fast,
+                   kKindRackBase + rack);
           }
           if (!legs.empty()) {
             options.push_back(legs.size() == 1 ? std::move(legs[0])

@@ -24,6 +24,7 @@
 
 #include <map>
 #include <optional>
+#include <string>
 
 #include "src/cluster/cluster.h"
 #include "src/core/job.h"
@@ -48,9 +49,14 @@ struct JobOption {
   SimDuration est_duration = 0;  // scheduler's belief
   bool preferred = false;        // was this the fast placement option?
   double value = 0.0;
+  int option_kind = 0;  // kKindPreferred / kKindFallback / rack-specific
 };
 
 using OptionRegistry = std::map<LeafTag, JobOption>;
+
+// Human-readable name for JobOption::option_kind ("preferred", "fallback",
+// "rack<r>"), used by decision provenance.
+std::string OptionKindName(int option_kind);
 
 class StrlGenerator {
  public:

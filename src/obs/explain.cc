@@ -1,0 +1,235 @@
+#include "src/obs/explain.h"
+
+#include <algorithm>
+#include <fstream>
+#include <map>
+#include <set>
+#include <sstream>
+
+#include "src/common/json.h"
+
+namespace tetrisched {
+
+namespace {
+
+// Serializes a parsed JsonValue back to compact JSON, for splicing `detail`
+// payloads into report lines.
+std::string Render(const JsonValue& value) {
+  switch (value.kind) {
+    case JsonValue::Kind::kNull:
+      return "null";
+    case JsonValue::Kind::kBool:
+      return value.bool_value ? "true" : "false";
+    case JsonValue::Kind::kNumber:
+      return JsonNumber(value.number);
+    case JsonValue::Kind::kString:
+      return JsonQuote(value.string);
+    case JsonValue::Kind::kArray: {
+      JsonArr arr;
+      for (const JsonValue& item : value.items) {
+        arr.AddRaw(Render(item));
+      }
+      return arr.str();
+    }
+    case JsonValue::Kind::kObject: {
+      JsonObj obj;
+      for (const auto& [key, member] : value.members) {
+        obj.FieldRaw(key, Render(member));
+      }
+      return obj.str();
+    }
+  }
+  return "null";
+}
+
+// Renders one offered-alternative object ({kind, start, duration, k, value,
+// preferred}) as a compact human line.
+std::string RenderAlternative(const JsonValue& alt) {
+  std::ostringstream out;
+  out << alt.StringOr("kind", "?") << " start=" << alt.IntOr("start", -1)
+      << " dur=" << alt.IntOr("duration", -1) << " k=" << alt.IntOr("k", -1)
+      << " value=" << JsonNumber(alt.NumberOr("value", 0.0));
+  if (alt.BoolOr("preferred", false)) {
+    out << " (preferred)";
+  }
+  return out.str();
+}
+
+std::string DescribeEvent(const ProvEvent& event) {
+  std::ostringstream out;
+  out << "t=" << event.time << " cycle=" << event.cycle << "  " << event.kind;
+  if (!event.label.empty()) {
+    out << " [" << event.label << "]";
+  }
+  if (event.kind == "offered") {
+    JsonValue detail;
+    if (!event.detail.empty() && JsonParse(event.detail, &detail) &&
+        detail.is_array()) {
+      out << " " << detail.items.size() << " alternative(s):";
+      for (const JsonValue& alt : detail.items) {
+        out << "\n      - " << RenderAlternative(alt);
+      }
+      return out.str();
+    }
+  }
+  if (event.kind == "chosen" || event.kind == "deferred") {
+    out << " objective-contribution=" << JsonNumber(event.value);
+  } else if (event.value != 0.0) {
+    out << " value=" << JsonNumber(event.value);
+  }
+  if (!event.detail.empty() && event.kind != "offered") {
+    out << " detail=" << event.detail;
+  }
+  return out.str();
+}
+
+}  // namespace
+
+ProvLog ParseProvenanceJsonl(const std::string& text) {
+  ProvLog log;
+  size_t pos = 0;
+  while (pos < text.size()) {
+    size_t eol = text.find('\n', pos);
+    if (eol == std::string::npos) {
+      eol = text.size();
+    }
+    std::string_view line(text.data() + pos, eol - pos);
+    pos = eol + 1;
+    if (line.empty()) {
+      continue;
+    }
+    JsonValue value;
+    if (!JsonParse(line, &value) || !value.is_object()) {
+      ++log.malformed_lines;
+      continue;
+    }
+    ProvEvent event;
+    event.seq = static_cast<uint64_t>(value.IntOr("seq", 0));
+    event.kind = value.StringOr("kind", "?");
+    event.cycle = value.IntOr("cycle", -1);
+    event.time = value.IntOr("time", 0);
+    event.ts_us = static_cast<uint64_t>(value.IntOr("ts_us", 0));
+    event.job = value.IntOr("job", -1);
+    event.value = value.NumberOr("value", 0.0);
+    event.label = value.StringOr("label", "");
+    if (const JsonValue* detail = value.Find("detail")) {
+      event.detail = Render(*detail);
+    }
+    log.events.push_back(std::move(event));
+  }
+  return log;
+}
+
+bool LoadProvenanceJsonl(const std::string& path, ProvLog* out,
+                         std::string* error) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) {
+    if (error != nullptr) {
+      *error = "cannot open " + path;
+    }
+    return false;
+  }
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  *out = ParseProvenanceJsonl(buffer.str());
+  return true;
+}
+
+std::string ExplainJob(const ProvLog& log, int64_t job) {
+  std::ostringstream out;
+  out << "=== job " << job << " ===\n";
+  size_t shown = 0;
+  for (const ProvEvent& event : log.events) {
+    if (event.job != job) {
+      continue;
+    }
+    out << "  " << DescribeEvent(event) << "\n";
+    ++shown;
+  }
+  if (shown == 0) {
+    out << "  no provenance records for this job (wrong id, or evicted "
+           "from the ring buffer)\n";
+  }
+  return out.str();
+}
+
+std::string ExplainSloMisses(const ProvLog& log) {
+  // cause -> [(job, evidence-detail)]
+  std::map<std::string, std::vector<const ProvEvent*>> by_cause;
+  for (const ProvEvent& event : log.events) {
+    if (event.kind == "slo-miss") {
+      std::string cause = event.label.empty() ? "unknown" : event.label;
+      by_cause[cause].push_back(&event);
+    }
+  }
+  std::ostringstream out;
+  out << "=== SLO-miss attribution ===\n";
+  if (by_cause.empty()) {
+    out << "no SLO misses recorded\n";
+    return out.str();
+  }
+  size_t total = 0;
+  for (const auto& [cause, events] : by_cause) {
+    total += events.size();
+  }
+  out << total << " miss(es) across " << by_cause.size() << " cause(s)\n";
+  for (const auto& [cause, events] : by_cause) {
+    out << "\n" << cause << " (" << events.size() << "):\n";
+    for (const ProvEvent* event : events) {
+      out << "  job " << event->job << " t=" << event->time;
+      if (!event->detail.empty()) {
+        out << " evidence=" << event->detail;
+      }
+      out << "\n";
+    }
+  }
+  return out.str();
+}
+
+std::string ExplainCycle(const ProvLog& log, int64_t cycle) {
+  std::ostringstream out;
+  out << "=== cycle " << cycle << " ===\n";
+  size_t shown = 0;
+  for (const ProvEvent& event : log.events) {
+    if (event.cycle != cycle) {
+      continue;
+    }
+    out << "  " << DescribeEvent(event);
+    if (event.job >= 0) {
+      out << " (job " << event.job << ")";
+    }
+    out << "\n";
+    ++shown;
+  }
+  if (shown == 0) {
+    out << "  no records for this cycle\n";
+  }
+  return out.str();
+}
+
+std::string ExplainSummary(const ProvLog& log) {
+  std::map<std::string, size_t> kinds;
+  std::set<int64_t> jobs;
+  int64_t max_cycle = -1;
+  for (const ProvEvent& event : log.events) {
+    ++kinds[event.kind];
+    if (event.job >= 0) {
+      jobs.insert(event.job);
+    }
+    max_cycle = std::max(max_cycle, event.cycle);
+  }
+  std::ostringstream out;
+  out << "=== provenance summary ===\n";
+  out << log.events.size() << " record(s), " << jobs.size() << " job(s), "
+      << (max_cycle + 1) << " cycle(s)";
+  if (log.malformed_lines > 0) {
+    out << ", " << log.malformed_lines << " malformed line(s) skipped";
+  }
+  out << "\n";
+  for (const auto& [kind, count] : kinds) {
+    out << "  " << kind << ": " << count << "\n";
+  }
+  return out.str();
+}
+
+}  // namespace tetrisched

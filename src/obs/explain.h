@@ -1,0 +1,68 @@
+// Offline analysis of provenance JSONL exports: the library behind the
+// tetrisched_explain CLI (tools/explain.cc). Kept as a library so tests can
+// drive the report generation without spawning processes.
+//
+// Inputs are artifacts this repo itself wrote (ProvenanceRecorder::
+// ExportJsonl), parsed tolerantly: malformed lines are counted and skipped
+// rather than aborting, since a crash-interrupted export may be replayed
+// through here while debugging.
+
+#ifndef TETRISCHED_OBS_EXPLAIN_H_
+#define TETRISCHED_OBS_EXPLAIN_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "src/obs/provenance.h"
+
+namespace tetrisched {
+
+// One parsed JSONL line. `detail` keeps the raw JSON payload so reports can
+// splice it through or parse it further per kind.
+struct ProvEvent {
+  uint64_t seq = 0;
+  std::string kind;
+  int64_t cycle = -1;
+  int64_t time = 0;
+  uint64_t ts_us = 0;
+  int64_t job = -1;
+  double value = 0.0;
+  std::string label;
+  std::string detail;
+};
+
+struct ProvLog {
+  std::vector<ProvEvent> events;  // in file order (== seq order on export)
+  size_t malformed_lines = 0;
+};
+
+// Parses JSONL text (as produced by ProvenanceRecorder::ToJsonl).
+ProvLog ParseProvenanceJsonl(const std::string& text);
+// Reads `path` and parses it; returns false if the file cannot be read.
+bool LoadProvenanceJsonl(const std::string& path, ProvLog* out,
+                         std::string* error = nullptr);
+
+// Human-readable reports. Each always returns non-empty text — "no such
+// job" / "no SLO misses recorded" are themselves answers.
+
+// Full annotated timeline for one job: the alternative sets offered each
+// cycle, what the solver chose (and its objective contribution), every
+// defer/reject with its reason, placement/preemption/kill history, and the
+// final outcome.
+std::string ExplainJob(const ProvLog& log, int64_t job);
+
+// Attribution report over every slo-miss record: per-cause buckets with the
+// evidence counts that produced each verdict.
+std::string ExplainSloMisses(const ProvLog& log);
+
+// What happened in cycle `cycle`: solve outcome, ladder rung, adaptations,
+// and the per-job decisions made in that plan.
+std::string ExplainCycle(const ProvLog& log, int64_t cycle);
+
+// Top-level digest: record/cycle/job counts and event-kind histogram.
+std::string ExplainSummary(const ProvLog& log);
+
+}  // namespace tetrisched
+
+#endif  // TETRISCHED_OBS_EXPLAIN_H_

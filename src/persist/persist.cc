@@ -4,6 +4,7 @@
 
 #include "src/common/logging.h"
 #include "src/common/metrics.h"
+#include "src/obs/provenance.h"
 
 namespace tetrisched {
 namespace {
@@ -101,6 +102,16 @@ RecoveryResult PersistenceManager::Recover() {
     }
     ApplyEvent(result.state, event);
     ++result.replayed;
+    if (ProvenanceRecorder::Global().enabled()) {
+      // One provenance record per replayed journal record, so the flight
+      // recorder shows exactly which durable history rebuilt the RM view.
+      ProvenanceRecord record;
+      record.kind = ProvKind::kReplay;
+      record.time = event.time;
+      record.job = event.job;
+      record.label = ToString(event.kind);
+      ProvenanceRecorder::Global().Record(std::move(record));
+    }
   }
   result.dropped = decoded.dropped_records;
 

@@ -14,9 +14,11 @@
 #include "src/core/estimator.h"
 #include "src/core/plan_check.h"
 #include "src/common/atomic_io.h"
+#include "src/common/json.h"
 #include "src/common/logging.h"
 #include "src/common/metrics.h"
 #include "src/common/span.h"
+#include "src/obs/provenance.h"
 #include "src/persist/journal.h"
 
 namespace tetrisched {
@@ -154,6 +156,18 @@ SimInstruments& Instruments() {
   return instruments;
 }
 
+const char* SloClassLabel(SloClass slo_class) {
+  switch (slo_class) {
+    case SloClass::kSloAccepted:
+      return "slo-accepted";
+    case SloClass::kSloUnreserved:
+      return "slo-unreserved";
+    case SloClass::kBestEffort:
+      return "best-effort";
+  }
+  return "unknown";
+}
+
 void WriteFileOrWarn(const std::string& path, const std::string& content) {
   // Crash-atomic: a run dying mid-export must never leave a truncated
   // artifact where consumers expect a complete one.
@@ -185,6 +199,9 @@ Simulator::Simulator(const Cluster& cluster, SchedulerPolicy& policy,
   env_default(config_.metrics_json_path, "TETRISCHED_METRICS_JSON");
   env_default(config_.metrics_prom_path, "TETRISCHED_METRICS_PROM");
   env_default(config_.trace_json_path, "TETRISCHED_TRACE_JSON");
+  if (config_.provenance != SimConfig::ProvenanceMode::kOff) {
+    env_default(config_.provenance_jsonl_path, "TETRISCHED_PROVENANCE_JSONL");
+  }
 }
 
 SimMetrics Simulator::Run() {
@@ -199,6 +216,24 @@ SimMetrics Simulator::Run() {
       // Each run's trace is self-contained: drop spans of earlier runs.
       SpanCollector::Global().Clear();
     }
+  }
+
+  // Decision provenance (DESIGN.md §14): the flight recorder runs under kOn,
+  // or under kAuto when a JSONL export path is configured; kOff forces it
+  // off (benches measure a provenance-free baseline this way even when the
+  // environment requests an export). The caller's prior recorder state is
+  // restored on exit so nested runs compose; buffered records survive the
+  // restore, so tests can Snapshot() after Run().
+  ProvenanceRecorder& prov = ProvenanceRecorder::Global();
+  const bool prev_provenance = prov.enabled();
+  const bool prov_on =
+      config_.provenance == SimConfig::ProvenanceMode::kOn ||
+      (config_.provenance == SimConfig::ProvenanceMode::kAuto &&
+       !config_.provenance_jsonl_path.empty());
+  if (prov_on) {
+    prov.Enable(config_.provenance_ring);
+  } else if (config_.provenance == SimConfig::ProvenanceMode::kOff) {
+    prov.SetEnabled(false);
   }
 
   SimMetrics metrics;
@@ -338,6 +373,13 @@ SimMetrics Simulator::Run() {
            static_cast<int32_t>(phase)});
     TETRI_LOG(kInfo) << "scheduler crash injected at t=" << now << " (phase "
                      << ToString(phase) << "); recovering";
+    if (prov.enabled()) {
+      ProvenanceRecord record;
+      record.kind = ProvKind::kCrash;
+      record.time = now;
+      record.label = ToString(phase);
+      prov.Record(std::move(record));
+    }
 
     RecoveryResult rec = persist->Recover();
     RecoveredState st = std::move(rec.state);
@@ -472,6 +514,19 @@ SimMetrics Simulator::Run() {
                     .count();
     metrics.recovery_ms.Add(ms);
     trace({now, TraceEventKind::kRecover, -1, -1, rec.replayed, ms});
+    if (prov.enabled()) {
+      ProvenanceRecord record;
+      record.kind = ProvKind::kRecovery;
+      record.time = now;
+      record.value = static_cast<double>(rec.replayed);
+      record.detail = JsonObj()
+                          .Field("replayed", rec.replayed)
+                          .Field("dropped", rec.dropped)
+                          .Field("snapshot_loaded", rec.snapshot_loaded)
+                          .Field("ms", ms)
+                          .str();
+      prov.Record(std::move(record));
+    }
   };
 
   while (outstanding > 0 && now <= config_.max_time) {
@@ -501,6 +556,20 @@ SimMetrics Simulator::Run() {
     while (next_arrival < n && jobs_[next_arrival].submit <= now) {
       state[next_arrival] = JobState::kPending;
       trace({now, TraceEventKind::kSubmit, jobs_[next_arrival].id});
+      if (prov.enabled()) {
+        const Job& job = jobs_[next_arrival];
+        ProvenanceRecord record;
+        record.kind = ProvKind::kArrival;
+        record.time = now;
+        record.job = job.id;
+        record.label = SloClassLabel(job.slo_class);
+        record.value = static_cast<double>(job.k);
+        record.detail = JsonObj()
+                            .Field("k", job.k)
+                            .Field("deadline", static_cast<int64_t>(job.deadline))
+                            .str();
+        prov.Record(std::move(record));
+      }
       ++next_arrival;
     }
 
@@ -528,6 +597,22 @@ SimMetrics Simulator::Run() {
         complete.preferred = metrics.outcomes[i].preferred;
         complete.runtime = time - it->second.start;
         durable(complete);
+      }
+      if (prov.enabled()) {
+        const Job& job = jobs_[i];
+        ProvenanceRecord record;
+        record.kind = ProvKind::kCompleted;
+        record.time = time;
+        record.job = id;
+        record.label = time <= job.deadline ? "met" : "late";
+        record.value = static_cast<double>(time - it->second.start);
+        record.detail =
+            JsonObj()
+                .Field("runtime", static_cast<int64_t>(time - it->second.start))
+                .Field("deadline", static_cast<int64_t>(job.deadline))
+                .Field("preferred", metrics.outcomes[i].preferred)
+                .str();
+        prov.Record(std::move(record));
       }
       running.erase(it);
       state[i] = JobState::kCompleted;
@@ -585,6 +670,19 @@ SimMetrics Simulator::Run() {
             sim_ins.retries_exhausted->Increment();
             sim_ins.jobs_dropped->Increment();
             trace({now, TraceEventKind::kDrop, victim});
+            if (prov.enabled()) {
+              ProvenanceRecord record;
+              record.kind = ProvKind::kDropped;
+              record.time = now;
+              record.job = victim;
+              record.label = "retries-exhausted";
+              record.value = static_cast<double>(outcome.retries);
+              record.detail = JsonObj()
+                                  .Field("node", failure.node)
+                                  .Field("retries", outcome.retries)
+                                  .str();
+              prov.Record(std::move(record));
+            }
             if (persist != nullptr) {
               DurableEvent drop;
               drop.kind = DurableEventKind::kJobDropped;
@@ -604,6 +702,21 @@ SimMetrics Simulator::Run() {
                                    << std::min(outcome.retries - 1, 30));
           }
           eligible_at[i] = now + backoff;
+          if (prov.enabled()) {
+            ProvenanceRecord record;
+            record.kind = ProvKind::kFailureKill;
+            record.time = now;
+            record.job = victim;
+            record.label = "node-failure";
+            record.value = static_cast<double>(outcome.retries);
+            record.detail =
+                JsonObj()
+                    .Field("node", failure.node)
+                    .Field("retries", outcome.retries)
+                    .Field("eligible_at", static_cast<int64_t>(eligible_at[i]))
+                    .str();
+            prov.Record(std::move(record));
+          }
           if (persist != nullptr) {
             DurableEvent kill;
             kill.kind = DurableEventKind::kGangKill;
@@ -866,6 +979,15 @@ SimMetrics Simulator::Run() {
         ++metrics.outcomes[i].preemptions;
         ++metrics.preemptions;
         sim_ins.preemptions->Increment();
+        if (prov.enabled()) {
+          ProvenanceRecord record;
+          record.kind = ProvKind::kPreempted;
+          record.time = now;
+          record.job = id;
+          record.label = "policy-preempt";
+          record.value = static_cast<double>(metrics.outcomes[i].preemptions);
+          prov.Record(std::move(record));
+        }
         if (persist != nullptr) {
           DurableEvent preempt;
           preempt.kind = DurableEventKind::kGangPreempt;
@@ -884,6 +1006,14 @@ SimMetrics Simulator::Run() {
         metrics.outcomes[it->second].dropped = true;
         trace({now, TraceEventKind::kDrop, id});
         sim_ins.jobs_dropped->Increment();
+        if (prov.enabled()) {
+          ProvenanceRecord record;
+          record.kind = ProvKind::kDropped;
+          record.time = now;
+          record.job = id;
+          record.label = "culled";
+          prov.Record(std::move(record));
+        }
         --outstanding;
         if (persist != nullptr) {
           DurableEvent drop;
@@ -977,6 +1107,25 @@ SimMetrics Simulator::Run() {
         }
         outcome.preferred = preferred;
         outcome.placement = placement.counts;
+        if (prov.enabled()) {
+          // Ground-truth placement quality (the scheduler only ever saw
+          // estimates); this is what SLO-miss attribution keys on.
+          ProvenanceRecord record;
+          record.kind = ProvKind::kStart;
+          record.time = now;
+          record.job = job.id;
+          record.label = preferred ? "preferred" : "fallback";
+          record.value = static_cast<double>(placement.total_nodes());
+          record.detail =
+              JsonObj()
+                  .Field("nodes", placement.total_nodes())
+                  .Field("est_duration",
+                         static_cast<int64_t>(placement.est_duration))
+                  .Field("actual_runtime", static_cast<int64_t>(actual))
+                  .Field("straggler_factor", slow)
+                  .str();
+          prov.Record(std::move(record));
+        }
 
         if (first_placement) {
           first_placement = false;
@@ -1042,6 +1191,31 @@ SimMetrics Simulator::Run() {
                                  static_cast<double>(metrics.makespan))
           : 0.0;
 
+  if (prov.enabled()) {
+    // SLO-miss attribution (DESIGN.md §14): every SLO job that failed its
+    // deadline gets a closing kSloMiss record whose label is the attributed
+    // root cause and whose detail carries the evidence counts behind the
+    // verdict — the machine-checkable answer `tetrisched_explain
+    // --slo-misses` renders.
+    for (const JobOutcome& outcome : metrics.outcomes) {
+      if (!outcome.is_slo() || outcome.MetDeadline()) {
+        continue;
+      }
+      ProvenanceRecord record;
+      record.kind = ProvKind::kSloMiss;
+      record.time = now;
+      record.job = outcome.id;
+      std::string evidence;
+      record.label = ToString(prov.AttributeSloMiss(outcome.id, &evidence));
+      record.detail = std::move(evidence);
+      record.value = outcome.completed
+                         ? static_cast<double>(outcome.completion -
+                                               outcome.deadline)
+                         : -1.0;  // never finished
+      prov.Record(std::move(record));
+    }
+  }
+
   if (exporting) {
     if (!config_.metrics_json_path.empty()) {
       WriteFileOrWarn(config_.metrics_json_path, GlobalMetrics().ToJson());
@@ -1056,6 +1230,10 @@ SimMetrics Simulator::Run() {
     }
     SetObservabilityEnabled(prev_observability);
   }
+  if (prov_on && !config_.provenance_jsonl_path.empty()) {
+    prov.ExportJsonl(config_.provenance_jsonl_path);
+  }
+  prov.SetEnabled(prev_provenance);
   return metrics;
 }
 

@@ -90,6 +90,18 @@ struct SimConfig {
   std::string metrics_json_path;
   std::string metrics_prom_path;
   std::string trace_json_path;
+  // Decision provenance (DESIGN.md §14). kAuto turns the flight recorder on
+  // exactly when provenance_jsonl_path is non-empty (the path defaults from
+  // TETRISCHED_PROVENANCE_JSONL, like the exports above); kOn/kOff force it
+  // regardless of the path — benches use kOff to measure a provenance-free
+  // baseline even when the environment requests an export. Recording never
+  // changes scheduling decisions; with the recorder off, runs are
+  // byte-identical to a build without it.
+  enum class ProvenanceMode { kAuto, kOn, kOff };
+  ProvenanceMode provenance = ProvenanceMode::kAuto;
+  std::string provenance_jsonl_path;
+  // Ring capacity override; 0 = TETRISCHED_PROVENANCE_RING (default 65536).
+  size_t provenance_ring = 0;
 };
 
 // True placement quality: does this partition-count assignment satisfy the

@@ -1,0 +1,110 @@
+// tetrisched_explain: interrogate a provenance JSONL export.
+//
+// Usage:
+//   tetrisched_explain [--file PATH] [--job J] [--cycle C]
+//                      [--slo-misses] [--summary]
+//
+// PATH defaults to $TETRISCHED_PROVENANCE_JSONL, so a simulation run and
+// the explain invocation that follows can share one environment variable.
+// With no query flags, prints the summary digest. Exit codes: 0 on success,
+// 1 when the export cannot be read, 2 on usage errors.
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "src/obs/explain.h"
+
+namespace {
+
+int Usage(const char* argv0) {
+  std::fprintf(stderr,
+               "usage: %s [--file PATH] [--job J] [--cycle C] "
+               "[--slo-misses] [--summary]\n"
+               "PATH defaults to $TETRISCHED_PROVENANCE_JSONL\n",
+               argv0);
+  return 2;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::string path;
+  if (const char* env = std::getenv("TETRISCHED_PROVENANCE_JSONL")) {
+    path = env;
+  }
+  bool want_summary = false;
+  bool want_slo_misses = false;
+  std::vector<int64_t> jobs;
+  std::vector<int64_t> cycles;
+
+  for (int i = 1; i < argc; ++i) {
+    const char* arg = argv[i];
+    auto next = [&]() -> const char* {
+      return i + 1 < argc ? argv[++i] : nullptr;
+    };
+    if (std::strcmp(arg, "--file") == 0) {
+      const char* value = next();
+      if (value == nullptr) {
+        return Usage(argv[0]);
+      }
+      path = value;
+    } else if (std::strcmp(arg, "--job") == 0) {
+      const char* value = next();
+      if (value == nullptr) {
+        return Usage(argv[0]);
+      }
+      jobs.push_back(std::strtoll(value, nullptr, 10));
+    } else if (std::strcmp(arg, "--cycle") == 0) {
+      const char* value = next();
+      if (value == nullptr) {
+        return Usage(argv[0]);
+      }
+      cycles.push_back(std::strtoll(value, nullptr, 10));
+    } else if (std::strcmp(arg, "--slo-misses") == 0) {
+      want_slo_misses = true;
+    } else if (std::strcmp(arg, "--summary") == 0) {
+      want_summary = true;
+    } else if (std::strcmp(arg, "--help") == 0 ||
+               std::strcmp(arg, "-h") == 0) {
+      Usage(argv[0]);
+      return 0;
+    } else {
+      std::fprintf(stderr, "unknown argument: %s\n", arg);
+      return Usage(argv[0]);
+    }
+  }
+
+  if (path.empty()) {
+    std::fprintf(stderr,
+                 "no provenance export: pass --file or set "
+                 "TETRISCHED_PROVENANCE_JSONL\n");
+    return Usage(argv[0]);
+  }
+
+  tetrisched::ProvLog log;
+  std::string error;
+  if (!tetrisched::LoadProvenanceJsonl(path, &log, &error)) {
+    std::fprintf(stderr, "%s\n", error.c_str());
+    return 1;
+  }
+
+  if (!want_summary && !want_slo_misses && jobs.empty() && cycles.empty()) {
+    want_summary = true;
+  }
+  if (want_summary) {
+    std::fputs(tetrisched::ExplainSummary(log).c_str(), stdout);
+  }
+  for (int64_t job : jobs) {
+    std::fputs(tetrisched::ExplainJob(log, job).c_str(), stdout);
+  }
+  for (int64_t cycle : cycles) {
+    std::fputs(tetrisched::ExplainCycle(log, cycle).c_str(), stdout);
+  }
+  if (want_slo_misses) {
+    std::fputs(tetrisched::ExplainSloMisses(log).c_str(), stdout);
+  }
+  return 0;
+}
