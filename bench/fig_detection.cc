@@ -1,0 +1,249 @@
+// Detection-latency sweep under message loss (robustness extension; not a
+// paper figure — the paper's control plane is YARN's, assumed reliable).
+//
+// Sweeps the failure detector's heartbeat suspect timeout against the
+// control-plane message drop rate on the RC80-scaled cluster under GS MIX
+// with stochastic churn and control-plane partitions (DESIGN.md §15).
+// Reports SLO attainment, detection latency (true failure -> suspicion),
+// false suspicions, and the fencing/adoption/bounce accounting. The §15
+// safety invariant (no double-occupied node, no silently lost gang) is
+// asserted in every cell: the sweep trades performance, never correctness.
+//
+// With TETRISCHED_BENCH_JSON set, one record per (timeout, drop, seed)
+// cell is written to BENCH_detect.json.
+
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <memory>
+#include <vector>
+
+#include "bench/bench_json.h"
+#include "bench/exp_common.h"
+#include "src/sim/faults.h"
+
+namespace tetrisched {
+namespace {
+
+struct CellStats {
+  double total_slo = 0.0;      // percent
+  double accepted_slo = 0.0;   // percent
+  double detect_mean = 0.0;    // seconds
+  double detect_max = 0.0;     // seconds
+  double suspicions = 0.0;
+  double false_suspicions = 0.0;
+  double dead_declared = 0.0;
+  double fenced = 0.0;
+  double adopted = 0.0;
+  double bounces = 0.0;
+  double kills = 0.0;
+  double invariant_violations = 0.0;  // must stay 0
+};
+
+std::unique_ptr<SchedulerPolicy> MakePolicy(const Cluster& cluster) {
+  TetriSchedConfig config = TetriSchedConfig::Full(/*plan_ahead=*/96);
+  config.quantum = 8;
+  config.milp.time_limit_seconds = 0.15;
+  config.milp.max_nodes = 1500;
+  return std::make_unique<TetriScheduler>(cluster, config);
+}
+
+CellStats RunCell(const Cluster& cluster, SimDuration suspect_timeout,
+                  double drop_prob, int num_seeds, BenchJsonWriter& json) {
+  CellStats cell;
+  for (int s = 0; s < num_seeds; ++s) {
+    WorkloadParams params;
+    params.kind = WorkloadKind::kGsMix;
+    params.seed = 2000 + 17 * s;
+    params.num_jobs = 24;
+
+    std::vector<Job> jobs = GenerateWorkload(cluster, params);
+    RayonAdmission rayon(cluster.num_nodes());
+    ApplyAdmission(cluster, jobs, &rayon);
+
+    FaultModelParams faults;
+    faults.seed = 42 + s;
+    faults.horizon = 6000;
+    faults.mtbf = 600.0;
+    faults.mttr = 40.0;
+    faults.msg_drop_prob = drop_prob;
+    faults.msg_dup_prob = drop_prob > 0 ? 0.05 : 0.0;
+    faults.msg_delay_jitter = drop_prob > 0 ? 2 : 0;
+    faults.suspect_timeout = suspect_timeout;
+    faults.partition_mtbf = 900.0;
+    faults.partition_mttr = 25.0;
+    faults.rack_partition_prob = 0.3;
+    FaultSchedule schedule = GenerateFaultSchedule(cluster, faults);
+
+    SimConfig sim_config;
+    sim_config.node_failures = schedule.failures;
+    sim_config.stragglers = schedule.stragglers;
+    sim_config.comms = schedule.comms;
+    sim_config.rayon = &rayon;
+
+    std::unique_ptr<SchedulerPolicy> policy = MakePolicy(cluster);
+    Simulator sim(cluster, *policy, std::move(jobs), sim_config);
+    auto t0 = std::chrono::steady_clock::now();
+    SimMetrics metrics = sim.Run();
+    double wall_ms = std::chrono::duration<double, std::milli>(
+                         std::chrono::steady_clock::now() - t0)
+                         .count();
+
+    if (metrics.belief_invariant_violations != 0 ||
+        metrics.validator_violations != 0) {
+      std::fprintf(stderr,
+                   "FATAL: safety invariant violated (belief=%d, "
+                   "validator=%d) at timeout=%lld drop=%.2f seed=%d\n",
+                   metrics.belief_invariant_violations,
+                   metrics.validator_violations,
+                   static_cast<long long>(suspect_timeout), drop_prob, s);
+      std::exit(1);
+    }
+
+    double detect_mean =
+        metrics.detection_latency.empty() ? 0.0
+                                          : metrics.detection_latency.Mean();
+    double detect_max =
+        metrics.detection_latency.empty() ? 0.0
+                                          : metrics.detection_latency.Max();
+    cell.total_slo += 100.0 * metrics.TotalSloAttainment();
+    cell.accepted_slo += 100.0 * metrics.AcceptedSloAttainment();
+    cell.detect_mean += detect_mean;
+    cell.detect_max = std::max(cell.detect_max, detect_max);
+    cell.suspicions += metrics.suspicions;
+    cell.false_suspicions += metrics.false_suspicions;
+    cell.dead_declared += metrics.dead_declared;
+    cell.fenced += metrics.fenced_tasks;
+    cell.adopted += metrics.orphans_adopted;
+    cell.bounces += metrics.stale_placement_bounces;
+    cell.kills += metrics.failure_kills;
+    cell.invariant_violations += metrics.belief_invariant_violations;
+
+    json.Add("timeout=" + std::to_string(suspect_timeout) +
+                 "/drop=" + Fixed(drop_prob, 2) + "/seed=" +
+                 std::to_string(s),
+             wall_ms,
+             {{"suspect_timeout", static_cast<double>(suspect_timeout)},
+              {"drop_prob", drop_prob},
+              {"total_slo", 100.0 * metrics.TotalSloAttainment()},
+              {"accepted_slo", 100.0 * metrics.AcceptedSloAttainment()},
+              {"detect_mean_s", detect_mean},
+              {"detect_max_s", detect_max},
+              {"suspicions", static_cast<double>(metrics.suspicions)},
+              {"false_suspicions",
+               static_cast<double>(metrics.false_suspicions)},
+              {"dead_declared", static_cast<double>(metrics.dead_declared)},
+              {"fenced_tasks", static_cast<double>(metrics.fenced_tasks)},
+              {"orphans_adopted",
+               static_cast<double>(metrics.orphans_adopted)},
+              {"stale_placement_bounces",
+               static_cast<double>(metrics.stale_placement_bounces)},
+              {"heartbeats_dropped",
+               static_cast<double>(metrics.heartbeats_dropped)},
+              {"commands_dropped",
+               static_cast<double>(metrics.commands_dropped)},
+              {"failure_kills", static_cast<double>(metrics.failure_kills)},
+              {"belief_invariant_violations",
+               static_cast<double>(metrics.belief_invariant_violations)}});
+  }
+  double inv = 1.0 / num_seeds;
+  cell.total_slo *= inv;
+  cell.accepted_slo *= inv;
+  cell.detect_mean *= inv;
+  cell.suspicions *= inv;
+  cell.false_suspicions *= inv;
+  cell.dead_declared *= inv;
+  cell.fenced *= inv;
+  cell.adopted *= inv;
+  cell.bounces *= inv;
+  cell.kills *= inv;
+  return cell;
+}
+
+int Main() {
+  Cluster cluster = MakeRc80();
+  PrintHeader("Detection sweep: suspect timeout x message drop rate",
+              "GS MIX + churn (MTBF 600 s) + control-plane partitions "
+              "(MTBF 900 s, 30% rack-scoped), lossy heartbeat channel",
+              cluster);
+
+  const std::vector<SimDuration> timeouts = {4, 8, 16};
+  const std::vector<double> drops = {0.0, 0.05, 0.2};
+  const int num_seeds = SeedsFromEnv(3);
+  BenchJsonWriter json;
+
+  std::vector<std::vector<CellStats>> results(timeouts.size());
+  for (size_t t = 0; t < timeouts.size(); ++t) {
+    for (double drop : drops) {
+      results[t].push_back(
+          RunCell(cluster, timeouts[t], drop, num_seeds, json));
+    }
+  }
+
+  std::printf("\n(a) SLO attainment, all SLO jobs (%%)\n");
+  std::printf("%12s", "timeout(s)");
+  for (double drop : drops) {
+    std::printf("      drop=%.2f", drop);
+  }
+  std::printf("\n");
+  for (size_t t = 0; t < timeouts.size(); ++t) {
+    std::printf("%12lld", static_cast<long long>(timeouts[t]));
+    for (size_t d = 0; d < drops.size(); ++d) {
+      std::printf(" %14s", Fixed(results[t][d].total_slo).c_str());
+    }
+    std::printf("\n");
+  }
+
+  std::printf("\n(b) mean detection latency, true failure -> suspicion (s)\n");
+  std::printf("%12s", "timeout(s)");
+  for (double drop : drops) {
+    std::printf("      drop=%.2f", drop);
+  }
+  std::printf("\n");
+  for (size_t t = 0; t < timeouts.size(); ++t) {
+    std::printf("%12lld", static_cast<long long>(timeouts[t]));
+    for (size_t d = 0; d < drops.size(); ++d) {
+      std::printf(" %14s", Fixed(results[t][d].detect_mean).c_str());
+    }
+    std::printf("\n");
+  }
+
+  std::printf("\n(c) false suspicions per run\n");
+  std::printf("%12s", "timeout(s)");
+  for (double drop : drops) {
+    std::printf("      drop=%.2f", drop);
+  }
+  std::printf("\n");
+  for (size_t t = 0; t < timeouts.size(); ++t) {
+    std::printf("%12lld", static_cast<long long>(timeouts[t]));
+    for (size_t d = 0; d < drops.size(); ++d) {
+      std::printf(" %14s", Fixed(results[t][d].false_suspicions).c_str());
+    }
+    std::printf("\n");
+  }
+
+  std::printf(
+      "\n(d) fencing/adoption accounting at drop=0.2, averaged per run\n");
+  std::printf("%12s %8s %8s %8s %8s %8s %10s\n", "timeout(s)", "suspect",
+              "dead", "fenced", "adopted", "bounces", "kills");
+  for (size_t t = 0; t < timeouts.size(); ++t) {
+    const CellStats& cell = results[t].back();
+    std::printf("%12lld %8s %8s %8s %8s %8s %10s\n",
+                static_cast<long long>(timeouts[t]),
+                Fixed(cell.suspicions).c_str(),
+                Fixed(cell.dead_declared).c_str(), Fixed(cell.fenced).c_str(),
+                Fixed(cell.adopted).c_str(), Fixed(cell.bounces).c_str(),
+                Fixed(cell.kills).c_str());
+  }
+  std::printf(
+      "\nsafety: belief-invariant violations were zero in every cell "
+      "(asserted).\n");
+
+  json.WriteIfRequested("BENCH_detect.json");
+  return 0;
+}
+
+}  // namespace
+}  // namespace tetrisched
+
+int main() { return tetrisched::Main(); }

@@ -32,6 +32,36 @@ std::vector<NodeId> NodeLedger::Acquire(PartitionId partition, int count) {
   return acquired;
 }
 
+std::vector<NodeId> NodeLedger::AcquireAvoiding(PartitionId partition,
+                                                int count,
+                                                const std::vector<char>& avoid) {
+  std::vector<NodeId> acquired;
+  acquired.reserve(count);
+  for (NodeId node : cluster_.partition(partition).nodes) {
+    if (static_cast<int>(acquired.size()) == count) {
+      break;
+    }
+    if (free_[node] && !avoid[node]) {
+      free_[node] = false;
+      acquired.push_back(node);
+    }
+  }
+  free_count_[partition] -= static_cast<int>(acquired.size());
+  total_free_ -= static_cast<int>(acquired.size());
+  return acquired;
+}
+
+int NodeLedger::FreeAvoiding(PartitionId partition,
+                             const std::vector<char>& avoid) const {
+  int free = 0;
+  for (NodeId node : cluster_.partition(partition).nodes) {
+    if (free_[node] && !avoid[node]) {
+      ++free;
+    }
+  }
+  return free;
+}
+
 std::vector<NodeId> NodeLedger::AcquireAnywhere(int count) {
   assert(count <= total_free_);
   std::vector<NodeId> acquired;

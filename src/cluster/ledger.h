@@ -27,6 +27,18 @@ class NodeLedger {
   // determinism). Returns the nodes; requires count <= free_in_partition.
   std::vector<NodeId> Acquire(PartitionId partition, int count);
 
+  // Acquire that skips nodes flagged in `avoid` (indexed by NodeId). Used
+  // under a lossy control plane: a believed-down node may be physically
+  // free, but the scheduler must not place onto capacity it cannot reach.
+  // Returns fewer than `count` nodes when the eligible pool runs dry — the
+  // caller treats the shortfall as a stale-view bounce and releases any
+  // partial take.
+  std::vector<NodeId> AcquireAvoiding(PartitionId partition, int count,
+                                      const std::vector<char>& avoid);
+
+  // Free nodes of `partition` outside `avoid` (the believed-free count).
+  int FreeAvoiding(PartitionId partition, const std::vector<char>& avoid) const;
+
   // Acquires `count` free nodes from anywhere (partition order). Used by the
   // heterogeneity-unaware baseline. Requires count <= total_free().
   std::vector<NodeId> AcquireAnywhere(int count);

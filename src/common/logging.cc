@@ -65,6 +65,32 @@ void SetLogLevel(LogLevel level) {
   g_threshold.store(static_cast<int>(level), std::memory_order_relaxed);
 }
 
+bool LogRateLimiter::ShouldLog(int64_t key, int64_t tick,
+                               int64_t* suppressed) {
+  KeyState& state = keys_[key];
+  if (state.emitted && tick - state.last_emit_tick < every_n_ticks_) {
+    ++state.suppressed;
+    if (suppressed != nullptr) {
+      *suppressed = 0;
+    }
+    return false;
+  }
+  if (suppressed != nullptr) {
+    *suppressed = state.suppressed;
+  }
+  state.suppressed = 0;
+  state.last_emit_tick = tick;
+  state.emitted = true;
+  return true;
+}
+
+std::string LogRateLimiter::SuppressedSuffix(int64_t suppressed) {
+  if (suppressed <= 0) {
+    return std::string();
+  }
+  return " (+" + std::to_string(suppressed) + " suppressed)";
+}
+
 LogLevel GetLogLevel() {
   return static_cast<LogLevel>(g_threshold.load(std::memory_order_relaxed));
 }

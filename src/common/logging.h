@@ -9,7 +9,10 @@
 #ifndef TETRISCHED_COMMON_LOGGING_H_
 #define TETRISCHED_COMMON_LOGGING_H_
 
+#include <cstdint>
+#include <map>
 #include <sstream>
+#include <string>
 
 namespace tetrisched {
 
@@ -31,6 +34,41 @@ LogLevel GetLogLevel();
 // Parses a level name as accepted by TETRISCHED_LOG_LEVEL; returns
 // `fallback` for null/unrecognized input.
 LogLevel ParseLogLevel(const char* name, LogLevel fallback);
+
+// Per-key log deduplication on a logical tick axis (scheduler cycles, not
+// wall clock, so suppression is deterministic). A repeating condition —
+// e.g. a node flapping between kAlive and kSuspect under heavy message
+// loss — logs at most once per key per `every_n_ticks`; suppressed
+// repetitions are counted and surfaced as a suffix on the next emitted
+// line. Not thread-safe; callers own one limiter per single-threaded log
+// site.
+//
+//   LogRateLimiter limit(/*every_n_ticks=*/16);
+//   if (int64_t n = 0; limit.ShouldLog(node, cycle, &n)) {
+//     TETRI_LOG(kWarning) << "node " << node << " suspected"
+//                         << LogRateLimiter::SuppressedSuffix(n);
+//   }
+class LogRateLimiter {
+ public:
+  explicit LogRateLimiter(int64_t every_n_ticks)
+      : every_n_ticks_(every_n_ticks < 1 ? 1 : every_n_ticks) {}
+
+  // True when the caller should emit for `key` at `tick`; *suppressed (may
+  // be null) receives how many calls were swallowed since the last emit.
+  bool ShouldLog(int64_t key, int64_t tick, int64_t* suppressed = nullptr);
+
+  // " (+N suppressed)" for N > 0, "" otherwise.
+  static std::string SuppressedSuffix(int64_t suppressed);
+
+ private:
+  struct KeyState {
+    int64_t last_emit_tick = 0;
+    int64_t suppressed = 0;
+    bool emitted = false;
+  };
+  int64_t every_n_ticks_;
+  std::map<int64_t, KeyState> keys_;
+};
 
 namespace log_internal {
 

@@ -53,6 +53,12 @@ const char* ToString(ProvKind kind) {
       return "recovery";
     case ProvKind::kReplay:
       return "replay";
+    case ProvKind::kSuspected:
+      return "suspected";
+    case ProvKind::kFenced:
+      return "fenced";
+    case ProvKind::kReconciled:
+      return "reconciled";
   }
   return "unknown";
 }

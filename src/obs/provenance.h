@@ -59,6 +59,9 @@ enum class ProvKind : uint8_t {
   kCrash,              // injected scheduler crash
   kRecovery,           // recovery pass finished (snapshot + replay)
   kReplay,             // one journal record replayed during recovery
+  kSuspected,          // failure detector suspected a node this gang runs on
+  kFenced,             // stale copy killed via epoch fencing (reconciliation)
+  kReconciled,         // orphaned copy adopted back after a false suspicion
 };
 
 const char* ToString(ProvKind kind);

@@ -162,6 +162,8 @@ const char* ToString(DurableEventKind kind) {
       return "job_dropped";
     case DurableEventKind::kPlanAheadAdapt:
       return "plan_ahead_adapt";
+    case DurableEventKind::kEpochBump:
+      return "epoch_bump";
   }
   return "unknown";
 }
@@ -188,6 +190,8 @@ std::string EncodeEvent(const DurableEvent& event) {
   PutJobIds(writer, event.drops);
   PutJobIds(writer, event.preempts);
   writer.PutString(event.blob);
+  writer.PutI64(event.node);
+  writer.PutI64(static_cast<int64_t>(event.epoch));
   return writer.Take();
 }
 
@@ -224,6 +228,8 @@ bool DecodeEvent(std::string_view bytes, DurableEvent* event) {
     return false;
   }
   event->blob = reader.GetString();
+  event->node = static_cast<NodeId>(reader.GetI64());
+  event->epoch = static_cast<uint64_t>(reader.GetI64());
   return reader.ok() && reader.AtEnd();
 }
 
@@ -279,6 +285,13 @@ void ApplyEvent(RecoveredState& state, const DurableEvent& event) {
       // Informational only: the adapted AIMD state is recovered from the
       // kCommitApplied policy blob, not replayed from these records.
       break;
+    case DurableEventKind::kEpochBump: {
+      // Max-merge keeps the table monotonic even when a snapshot already
+      // carries a newer epoch than a replayed record.
+      uint64_t& epoch = state.epochs[event.node];
+      epoch = std::max(epoch, event.epoch);
+      break;
+    }
   }
 }
 
@@ -334,6 +347,11 @@ std::string EncodeSnapshot(const RecoveredState& state) {
     }
     PutJobIds(writer, intent.drops);
     PutJobIds(writer, intent.preempts);
+  }
+  writer.PutU32(static_cast<uint32_t>(state.epochs.size()));
+  for (const auto& [node, epoch] : state.epochs) {
+    writer.PutI64(node);
+    writer.PutI64(static_cast<int64_t>(epoch));
   }
   return writer.Take();
 }
@@ -409,6 +427,12 @@ bool DecodeSnapshot(std::string_view bytes, RecoveredState* state) {
       return false;
     }
     state->pending_intent = std::move(intent);
+  }
+  uint32_t num_epochs = reader.GetU32();
+  for (uint32_t i = 0; i < num_epochs && reader.ok(); ++i) {
+    NodeId node = static_cast<NodeId>(reader.GetI64());
+    uint64_t epoch = static_cast<uint64_t>(reader.GetI64());
+    state->epochs[node] = epoch;
   }
   return reader.ok() && reader.AtEnd();
 }

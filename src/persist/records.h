@@ -34,6 +34,7 @@
 #include <string_view>
 #include <vector>
 
+#include "src/cluster/cluster.h"
 #include "src/common/time.h"
 #include "src/core/job.h"
 #include "src/rayon/rayon.h"
@@ -57,6 +58,12 @@ enum class DurableEventKind : uint8_t {
   // for replay inspection — the authoritative adapted state rides the
   // kCommitApplied policy blob, so ApplyEvent treats this as a no-op.
   kPlanAheadAdapt = 12,
+  // Fence-epoch bump (DESIGN.md §15): the scheduler gave up on `node` and
+  // raised its placement epoch to `epoch`. Journaled *before* the in-memory
+  // bump (WAL discipline) so recovery can never issue a command under an
+  // epoch older than one a node agent may already have adopted — i.e. a
+  // crash never resurrects a fenced placement.
+  kEpochBump = 13,
 };
 
 const char* ToString(DurableEventKind kind);
@@ -105,6 +112,10 @@ struct DurableEvent {
 
   // kCommitApplied: opaque policy durable state.
   std::string blob;
+
+  // kEpochBump.
+  NodeId node = -1;
+  uint64_t epoch = 0;
 
   bool operator==(const DurableEvent& other) const = default;
 };
@@ -161,6 +172,10 @@ struct RecoveredState {
   std::string policy_state;
   // Intent journaled without a matching kCommitApplied: crash mid-commit.
   std::optional<PendingIntent> pending_intent;
+  // Per-node fence epochs (DESIGN.md §15); only nodes ever fenced appear.
+  // Replay max-merges kEpochBump records so the table is monotonic even
+  // across snapshot/journal boundaries.
+  std::map<NodeId, uint64_t> epochs;
 
   bool operator==(const RecoveredState& other) const = default;
 };

@@ -1,0 +1,315 @@
+#include "src/sim/comms.h"
+
+#include <algorithm>
+
+namespace tetrisched {
+
+const char* ToString(NodeBeliefState state) {
+  switch (state) {
+    case NodeBeliefState::kAlive:
+      return "alive";
+    case NodeBeliefState::kSuspect:
+      return "suspect";
+    case NodeBeliefState::kDead:
+      return "dead";
+  }
+  return "?";
+}
+
+namespace {
+
+// Independent draw streams per message class, so enabling (say) duplication
+// never shifts the drop draws of an otherwise identical run.
+constexpr uint64_t kStreamHeartbeatDrop = 1;
+constexpr uint64_t kStreamHeartbeatJitter = 2;
+constexpr uint64_t kStreamHeartbeatDup = 3;
+constexpr uint64_t kStreamHeartbeatDupJitter = 4;
+constexpr uint64_t kStreamHeartbeatReorder = 5;
+constexpr uint64_t kStreamCommandDrop = 6;
+constexpr uint64_t kStreamCommandDup = 7;
+
+uint64_t SplitMix64(uint64_t x) {
+  x += 0x9e3779b97f4a7c15ULL;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebULL;
+  return x ^ (x >> 31);
+}
+
+}  // namespace
+
+ControlPlane::ControlPlane(const Cluster& cluster, const CommsParams& params)
+    : cluster_(cluster), params_(params) {
+  active_ = params_.enabled && !params_.oracle();
+  const int n = cluster_.num_nodes();
+  view_.nodes.resize(n);
+  down_mask_.assign(n, 0);
+  up_.assign(n, 1);
+  boot_.assign(n, 1);
+  agent_epoch_.assign(n, 0);
+  next_seq_.assign(n, 1);  // seq 0 is the registration beat at t = 0
+  down_since_.assign(n, -1);
+  last_arrival_.assign(n, 0);
+  ema_gap_.assign(
+      n, static_cast<double>(std::max<SimDuration>(
+             1, params_.detector.heartbeat_period)));
+  in_flight_.resize(n);
+  cmd_seq_.assign(n, 0);
+  reboot_flag_.assign(n, 0);
+  for (NodeView& node : view_.nodes) {
+    node.seen_boot = 1;
+  }
+}
+
+uint64_t ControlPlane::Mix(NodeId node, uint64_t stream, uint64_t seq) const {
+  uint64_t h = SplitMix64(seq);
+  h = SplitMix64(h ^ (static_cast<uint64_t>(node) * 0x9ddfea08eb382d69ULL));
+  h = SplitMix64(h ^ (stream * 0xc2b2ae3d27d4eb4fULL));
+  return SplitMix64(h ^ params_.seed);
+}
+
+double ControlPlane::UnitDraw(NodeId node, uint64_t stream,
+                              uint64_t seq) const {
+  // 53 mantissa bits -> uniform in [0, 1).
+  return static_cast<double>(Mix(node, stream, seq) >> 11) *
+         (1.0 / 9007199254740992.0);
+}
+
+bool ControlPlane::LinkUp(NodeId node, SimTime now) const {
+  for (const CommsPartitionEvent& part : params_.partitions) {
+    if (now < part.at || now >= part.recover_at) {
+      continue;
+    }
+    if (part.node == node ||
+        (part.rack >= 0 && cluster_.node(node).rack == part.rack)) {
+      return false;
+    }
+  }
+  return true;
+}
+
+void ControlPlane::PumpHeartbeats(NodeId node, SimTime now) {
+  const MessageFaultParams& msg = params_.message;
+  const SimDuration period =
+      std::max<SimDuration>(1, params_.detector.heartbeat_period);
+  if (up_[node]) {
+    while (next_seq_[node] * period <= now) {
+      const int64_t seq = next_seq_[node]++;
+      const SimTime sent = seq * period;
+      ++counters_.heartbeats_sent;
+      if (!LinkUp(node, sent)) {
+        ++counters_.heartbeats_dropped;
+        continue;
+      }
+      if (msg.drop_prob > 0.0 &&
+          UnitDraw(node, kStreamHeartbeatDrop, seq) < msg.drop_prob) {
+        ++counters_.heartbeats_dropped;
+        continue;
+      }
+      SimTime arrive = sent + msg.delay;
+      if (msg.delay_jitter > 0) {
+        arrive += static_cast<SimDuration>(
+            Mix(node, kStreamHeartbeatJitter, seq) %
+            static_cast<uint64_t>(msg.delay_jitter + 1));
+      }
+      if (msg.reorder_prob > 0.0 &&
+          UnitDraw(node, kStreamHeartbeatReorder, seq) < msg.reorder_prob) {
+        // A late outlier: pushed past at least one successor's arrival.
+        arrive += (msg.delay_jitter > 0 ? msg.delay_jitter : period) + 1;
+      }
+      in_flight_[node].push_back({arrive, sent, boot_[node]});
+      if (msg.dup_prob > 0.0 &&
+          UnitDraw(node, kStreamHeartbeatDup, seq) < msg.dup_prob) {
+        ++counters_.heartbeats_duplicated;
+        SimTime dup_arrive = sent + msg.delay;
+        if (msg.delay_jitter > 0) {
+          dup_arrive += static_cast<SimDuration>(
+              Mix(node, kStreamHeartbeatDupJitter, seq) %
+              static_cast<uint64_t>(msg.delay_jitter + 1));
+        }
+        in_flight_[node].push_back({dup_arrive, sent, boot_[node]});
+      }
+    }
+  }
+  // Fold everything that has arrived by `now` into the believed view.
+  std::vector<PendingHeartbeat>& queue = in_flight_[node];
+  std::sort(queue.begin(), queue.end(),
+            [](const PendingHeartbeat& a, const PendingHeartbeat& b) {
+              return a.arrive != b.arrive ? a.arrive < b.arrive
+                                          : a.sent < b.sent;
+            });
+  NodeView& nv = view_.nodes[node];
+  size_t kept = 0;
+  for (const PendingHeartbeat& hb : queue) {
+    if (hb.arrive > now) {
+      queue[kept++] = hb;
+      continue;
+    }
+    if (hb.sent < nv.last_heard) {
+      ++counters_.heartbeats_reordered;
+    } else {
+      nv.last_heard = hb.sent;
+    }
+    if (hb.arrive > last_arrival_[node]) {
+      const double gap = static_cast<double>(hb.arrive - last_arrival_[node]);
+      ema_gap_[node] = 0.8 * ema_gap_[node] + 0.2 * gap;
+      last_arrival_[node] = hb.arrive;
+    }
+    if (hb.boot > nv.seen_boot) {
+      nv.seen_boot = hb.boot;
+      reboot_flag_[node] = 1;
+    }
+  }
+  queue.resize(kept);
+}
+
+void ControlPlane::NodeDown(NodeId node, SimTime now) {
+  if (!active_) {
+    return;
+  }
+  // Beats sent before the failure instant still exist (and may still be in
+  // flight); evaluate them before marking the agent gone.
+  PumpHeartbeats(node, now);
+  up_[node] = 0;
+  down_since_[node] = now;
+}
+
+void ControlPlane::NodeUp(NodeId node, SimTime now) {
+  if (!active_) {
+    return;
+  }
+  up_[node] = 1;
+  ++boot_[node];  // new agent incarnation: heartbeats advertise the reboot
+  down_since_[node] = -1;
+  const SimDuration period =
+      std::max<SimDuration>(1, params_.detector.heartbeat_period);
+  // No beats were sent while down; resume strictly after the recovery.
+  next_seq_[node] = now / period + 1;
+}
+
+ControlPlane::Verdict ControlPlane::Evaluate(SimTime now, int64_t cycle) {
+  Verdict verdict;
+  if (!active_) {
+    return verdict;
+  }
+  const DetectorParams& det = params_.detector;
+  const SimDuration dead_timeout = det.effective_dead_timeout();
+  const int n = cluster_.num_nodes();
+  for (NodeId node = 0; node < n; ++node) {
+    PumpHeartbeats(node, now);
+    NodeView& nv = view_.nodes[node];
+    const SimTime silence = now - last_arrival_[node];
+    bool suspect;
+    if (det.phi_threshold > 0.0) {
+      const double threshold =
+          std::max(static_cast<double>(det.suspect_timeout),
+                   det.phi_threshold * ema_gap_[node]);
+      suspect = static_cast<double>(silence) > threshold;
+    } else {
+      suspect = silence > det.suspect_timeout;
+    }
+    const bool dead = silence > dead_timeout;
+    if (nv.state == NodeBeliefState::kAlive && suspect) {
+      nv.state = dead ? NodeBeliefState::kDead : NodeBeliefState::kSuspect;
+      down_mask_[node] = 1;
+      verdict.newly_suspect.push_back(node);
+      ++counters_.suspicions;
+      if (up_[node]) {
+        ++counters_.false_suspicions;
+      } else if (down_since_[node] >= 0) {
+        detection_latencies_.push_back(
+            static_cast<double>(now - down_since_[node]));
+      }
+      if (dead) {
+        verdict.newly_dead.push_back(node);
+        ++counters_.dead_declared;
+      }
+      int64_t suppressed = 0;
+      if (warn_limit_.ShouldLog(node, cycle, &suppressed)) {
+        TETRI_LOG(kWarning)
+            << "detector: node " << node << " -> " << ToString(nv.state)
+            << " after " << silence << "s silence"
+            << (up_[node] ? " [false suspicion]" : "")
+            << LogRateLimiter::SuppressedSuffix(suppressed);
+      }
+    } else if (nv.state == NodeBeliefState::kSuspect && dead) {
+      nv.state = NodeBeliefState::kDead;
+      verdict.newly_dead.push_back(node);
+      ++counters_.dead_declared;
+    } else if (nv.state != NodeBeliefState::kAlive && !suspect) {
+      nv.state = NodeBeliefState::kAlive;
+      down_mask_[node] = 0;
+      verdict.recovered.push_back(node);
+      int64_t suppressed = 0;
+      if (warn_limit_.ShouldLog(node, cycle, &suppressed)) {
+        TETRI_LOG(kWarning)
+            << "detector: node " << node << " -> alive (heartbeats resumed)"
+            << LogRateLimiter::SuppressedSuffix(suppressed);
+      }
+    }
+    if (reboot_flag_[node]) {
+      reboot_flag_[node] = 0;
+      verdict.rebooted.push_back(node);
+    }
+    if (nv.state == NodeBeliefState::kAlive && up_[node] &&
+        LinkUp(node, now) && agent_epoch_[node] < nv.fence_epoch) {
+      verdict.reconcilable.push_back(node);
+    }
+  }
+  return verdict;
+}
+
+uint64_t ControlPlane::FenceNode(NodeId node) {
+  return ++view_.nodes[node].fence_epoch;
+}
+
+void ControlPlane::AgentAdoptEpoch(NodeId node) {
+  agent_epoch_[node] = view_.nodes[node].fence_epoch;
+}
+
+std::map<NodeId, uint64_t> ControlPlane::ExportFenceEpochs() const {
+  std::map<NodeId, uint64_t> epochs;
+  for (NodeId node = 0; node < static_cast<NodeId>(view_.nodes.size());
+       ++node) {
+    if (view_.nodes[node].fence_epoch > 0) {
+      epochs[node] = view_.nodes[node].fence_epoch;
+    }
+  }
+  return epochs;
+}
+
+void ControlPlane::RestoreFenceEpochs(
+    const std::map<NodeId, uint64_t>& epochs) {
+  for (const auto& [node, epoch] : epochs) {
+    if (node < 0 || node >= static_cast<NodeId>(view_.nodes.size())) {
+      continue;
+    }
+    view_.nodes[node].fence_epoch =
+        std::max(view_.nodes[node].fence_epoch, epoch);
+  }
+}
+
+bool ControlPlane::DeliverCommand(NodeId node, SimTime now) {
+  if (!active_) {
+    return true;
+  }
+  const int64_t seq = cmd_seq_[node]++;
+  if (!up_[node] || !LinkUp(node, now)) {
+    ++counters_.commands_dropped;
+    return false;
+  }
+  const MessageFaultParams& msg = params_.message;
+  if (msg.drop_prob > 0.0 &&
+      UnitDraw(node, kStreamCommandDrop, seq) < msg.drop_prob) {
+    ++counters_.commands_dropped;
+    return false;
+  }
+  if (msg.dup_prob > 0.0 &&
+      UnitDraw(node, kStreamCommandDup, seq) < msg.dup_prob) {
+    // The duplicate copy reaches an agent that already executed this
+    // command; its epoch/sequence check rejects it idempotently.
+    ++counters_.stale_command_rejects;
+  }
+  return true;
+}
+
+}  // namespace tetrisched

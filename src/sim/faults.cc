@@ -81,10 +81,37 @@ std::vector<NodeFailure> NormalizeNodeFailures(const Cluster& cluster,
   return kept;
 }
 
+namespace {
+
+// Lifts the flat control-plane knobs of FaultModelParams into CommsParams.
+// Partitions are generated separately (they consume a forked substream).
+CommsParams BuildCommsParams(const FaultModelParams& params) {
+  CommsParams comms;
+  comms.seed = params.seed;
+  comms.message.drop_prob = params.msg_drop_prob;
+  comms.message.dup_prob = params.msg_dup_prob;
+  comms.message.delay = params.msg_delay;
+  comms.message.delay_jitter = params.msg_delay_jitter;
+  comms.message.reorder_prob = params.msg_reorder_prob;
+  comms.detector.heartbeat_period = params.heartbeat_period;
+  comms.detector.suspect_timeout = params.suspect_timeout;
+  comms.detector.dead_timeout = params.dead_timeout;
+  comms.detector.phi_threshold = params.phi_threshold;
+  comms.enabled = params.msg_drop_prob > 0.0 || params.msg_dup_prob > 0.0 ||
+                  params.msg_delay > 0 || params.msg_delay_jitter > 0 ||
+                  params.msg_reorder_prob > 0.0 ||
+                  params.suspect_timeout > 0 || params.partition_mtbf > 0.0;
+  return comms;
+}
+
+}  // namespace
+
 FaultSchedule GenerateFaultSchedule(const Cluster& cluster,
                                     const FaultModelParams& params) {
   FaultSchedule schedule;
-  if ((params.mtbf <= 0.0 && params.scheduler_crash_mtbf <= 0.0) ||
+  schedule.comms = BuildCommsParams(params);
+  if ((params.mtbf <= 0.0 && params.scheduler_crash_mtbf <= 0.0 &&
+       params.partition_mtbf <= 0.0) ||
       cluster.num_nodes() == 0) {
     return schedule;
   }
@@ -148,6 +175,37 @@ FaultSchedule GenerateFaultSchedule(const Cluster& cluster,
       t += std::max<SimTime>(
           1, static_cast<SimTime>(std::llround(
                  crash_rng.Exponential(params.scheduler_crash_mtbf))));
+    }
+  }
+
+  // Control-plane partitions fork *after* the crash substream, so enabling
+  // them leaves node churn and crash schedules byte-identical.
+  if (params.partition_mtbf > 0.0) {
+    Rng part_rng = root.Fork();
+    SimTime t = static_cast<SimTime>(
+        std::llround(part_rng.Exponential(params.partition_mtbf)));
+    for (int count = 0; count < params.max_failures_per_node; ++count) {
+      if (t >= params.horizon) {
+        break;
+      }
+      SimDuration span = std::max<SimDuration>(
+          1, static_cast<SimDuration>(std::llround(part_rng.Exponential(
+                 std::max(1.0, params.partition_mttr)))));
+      CommsPartitionEvent event;
+      event.at = t;
+      event.recover_at = t + span;
+      NodeId picked = static_cast<NodeId>(
+          part_rng.UniformInt(0, cluster.num_nodes() - 1));
+      if (params.rack_partition_prob > 0.0 &&
+          part_rng.Bernoulli(params.rack_partition_prob)) {
+        event.rack = cluster.node(picked).rack;
+      } else {
+        event.node = picked;
+      }
+      schedule.comms.partitions.push_back(event);
+      t += span + std::max<SimTime>(
+                      1, static_cast<SimTime>(std::llround(
+                             part_rng.Exponential(params.partition_mtbf))));
     }
   }
 

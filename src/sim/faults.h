@@ -15,6 +15,7 @@
 
 #include "src/cluster/cluster.h"
 #include "src/common/time.h"
+#include "src/sim/comms.h"
 
 namespace tetrisched {
 
@@ -120,6 +121,28 @@ struct FaultModelParams {
   // all CrashPhases.
   double scheduler_crash_mtbf = 0.0;
 
+  // Control-plane message faults and failure detector (comms.h,
+  // DESIGN.md §15). Compiled verbatim into FaultSchedule::comms; the model
+  // is active when any message fault, a suspect timeout, or partitions are
+  // configured. With everything at its zero default the control plane is an
+  // oracle and the simulator's legacy instant-detection path is used.
+  double msg_drop_prob = 0.0;        // per-message loss probability
+  double msg_dup_prob = 0.0;         // per-message duplication probability
+  SimDuration msg_delay = 0;         // fixed propagation delay (s)
+  SimDuration msg_delay_jitter = 0;  // extra uniform [0, jitter] per message
+  double msg_reorder_prob = 0.0;     // late-outlier (reordering) probability
+  SimDuration heartbeat_period = 1;  // agent heartbeat send period (s)
+  SimDuration suspect_timeout = 0;   // silence before kSuspect (0 = oracle)
+  SimDuration dead_timeout = 0;      // silence before kDead (0 = 4x suspect)
+  double phi_threshold = 0.0;        // > 0: phi-accrual detector multiplier
+
+  // Control-plane partitions arrive with mean gap `partition_mtbf` seconds
+  // (0 disables); each lasts Exp(partition_mttr) seconds (min 1 s) and with
+  // `rack_partition_prob` isolates a whole rack instead of one node.
+  double partition_mtbf = 0.0;
+  double partition_mttr = 30.0;
+  double rack_partition_prob = 0.0;
+
   // Safety cap on events per node (runaway-parameter guard).
   int max_failures_per_node = 10000;
 };
@@ -128,6 +151,10 @@ struct FaultSchedule {
   std::vector<NodeFailure> failures;      // normalized, sorted by (at, node)
   std::vector<StragglerEvent> stragglers; // sorted by (at, node)
   std::vector<SchedulerCrashEvent> scheduler_crashes;  // sorted by at
+  // Control-plane model (message faults, detector, generated partitions);
+  // enabled iff the params configure any of them. Copy into
+  // SimConfig::comms.
+  CommsParams comms;
 };
 
 // Deterministically expands the stochastic model into concrete event lists.

@@ -132,6 +132,15 @@ struct SimInstruments {
   Counter* jobs_completed;
   Counter* jobs_dropped;
   Counter* scheduler_crashes;
+  // Lossy-control-plane instruments (DESIGN.md §15).
+  Counter* detector_suspicions;
+  Counter* detector_false_suspicions;
+  Counter* detector_dead_declared;
+  Counter* detector_fenced_tasks;
+  Counter* detector_orphans_adopted;
+  Counter* detector_stale_bounces;
+  Counter* detector_heartbeats_dropped;
+  Counter* detector_commands_dropped;
 };
 
 SimInstruments& Instruments() {
@@ -152,6 +161,14 @@ SimInstruments& Instruments() {
       registry.GetCounter("tetrisched_sim_jobs_completed_total"),
       registry.GetCounter("tetrisched_sim_jobs_dropped_total"),
       registry.GetCounter("tetrisched_sim_scheduler_crashes_total"),
+      registry.GetCounter("tetrisched_detector_suspicions_total"),
+      registry.GetCounter("tetrisched_detector_false_suspicions_total"),
+      registry.GetCounter("tetrisched_detector_dead_declared_total"),
+      registry.GetCounter("tetrisched_detector_fenced_tasks_total"),
+      registry.GetCounter("tetrisched_detector_orphans_adopted_total"),
+      registry.GetCounter("tetrisched_detector_stale_bounces_total"),
+      registry.GetCounter("tetrisched_detector_heartbeats_dropped_total"),
+      registry.GetCounter("tetrisched_detector_commands_dropped_total"),
   };
   return instruments;
 }
@@ -302,6 +319,37 @@ SimMetrics Simulator::Run() {
   std::vector<SimTime> eligible_at(n, 0);
   std::vector<SimTime> last_kill(n, -1);
 
+  // Lossy control plane (DESIGN.md §15). When active, `running` is the
+  // scheduler's *believed* running set: a gang stays in it after a member
+  // node physically dies (broken, it can never complete) until the failure
+  // detector suspects the node and the gang is recalled. Copies the
+  // scheduler recalled but could not kill (node down, partitioned, or the
+  // kill command dropped) move to `orphans`: they still occupy ledger nodes
+  // — ground truth — until reconciliation either adopts them back (intact
+  // copy, job still pending, every member reachable) or fences them (stale
+  // epoch). With `lossy` false none of this machinery runs and the code
+  // path is byte-identical to the pre-§15 simulator.
+  ControlPlane comms(cluster_, config_.comms);
+  const bool lossy = comms.active();
+  struct OrphanJob {
+    RunningJob run;
+    bool intact = true;  // no member killed or physically dead: adoptable
+  };
+  std::map<JobId, OrphanJob> orphans;
+  // Believed-running gangs with physically dead members (the copy died with
+  // its node, but the scheduler has not noticed yet). Keyed by gang, value =
+  // the dead members; run.nodes keeps listing them because they are still
+  // part of the *belief*, so recall and the invariant check must skip them.
+  std::map<JobId, std::set<NodeId>> broken;
+  int64_t cycle_count = 0;
+  auto counts_of = [&](const std::vector<NodeId>& nodes) {
+    std::map<PartitionId, int> counts;
+    for (NodeId node : nodes) {
+      ++counts[cluster_.partition_of(node)];
+    }
+    return counts;
+  };
+
   // Persistence and scheduler-crash harness (DESIGN.md §11). The active
   // policy is held by pointer so recovery can swap in a freshly built one.
   SchedulerPolicy* policy = &policy_;
@@ -418,6 +466,13 @@ SimMetrics Simulator::Run() {
         }
       }
     }
+    // 4b. Fence epochs (DESIGN.md §15): kEpochBump records journal each
+    //     bump *before* the in-memory table changes, so the recovered table
+    //     is always >= any epoch a node agent may have adopted — a restart
+    //     can never issue commands under a stale epoch and resurrect a
+    //     fenced placement. Max-merge because the in-process control plane
+    //     also survives the simulated crash.
+    comms.RestoreFenceEpochs(st.epochs);
     // 5. Reconcile the recovered RM view against cluster ground truth. A
     //    gang the cluster runs but the journal never confirmed must come
     //    from a commit interrupted between mutation and its kGangLaunch
@@ -529,6 +584,390 @@ SimMetrics Simulator::Run() {
     }
   };
 
+  // Post-kill retry/backoff bookkeeping, shared verbatim by the legacy
+  // instant-detection path and the lossy recall path (oracle-mode schedules
+  // stay byte-identical because both run exactly this code). The caller has
+  // already released the gang's reachable nodes and erased it from
+  // `running`; this decides drop-vs-requeue and journals the kill.
+  auto requeue_after_kill = [&](int i, JobId victim, NodeId cause_node) {
+    ++metrics.failure_kills;
+    sim_ins.failure_kills->Increment();
+    JobOutcome& outcome = metrics.outcomes[i];
+    ++outcome.retries;
+    if (outcome.retries > config_.max_retries) {
+      // Retry budget exhausted: drop instead of requeueing.
+      state[i] = JobState::kDropped;
+      outcome.dropped = true;
+      ++metrics.retries_exhausted;
+      sim_ins.retries_exhausted->Increment();
+      sim_ins.jobs_dropped->Increment();
+      trace({now, TraceEventKind::kDrop, victim});
+      if (prov.enabled()) {
+        ProvenanceRecord record;
+        record.kind = ProvKind::kDropped;
+        record.time = now;
+        record.job = victim;
+        record.label = "retries-exhausted";
+        record.value = static_cast<double>(outcome.retries);
+        record.detail = JsonObj()
+                            .Field("node", cause_node)
+                            .Field("retries", outcome.retries)
+                            .str();
+        prov.Record(std::move(record));
+      }
+      if (persist != nullptr) {
+        DurableEvent drop;
+        drop.kind = DurableEventKind::kJobDropped;
+        drop.time = now;
+        drop.job = victim;
+        durable(drop);
+      }
+      --outstanding;
+      return;
+    }
+    state[i] = JobState::kPending;  // gang restarts from scratch
+    last_kill[i] = now;
+    SimDuration backoff = 0;
+    if (config_.retry_backoff > 0) {
+      backoff = std::min(config_.retry_backoff_cap,
+                         config_.retry_backoff
+                             << std::min(outcome.retries - 1, 30));
+    }
+    eligible_at[i] = now + backoff;
+    if (prov.enabled()) {
+      ProvenanceRecord record;
+      record.kind = ProvKind::kFailureKill;
+      record.time = now;
+      record.job = victim;
+      record.label = "node-failure";
+      record.value = static_cast<double>(outcome.retries);
+      record.detail =
+          JsonObj()
+              .Field("node", cause_node)
+              .Field("retries", outcome.retries)
+              .Field("eligible_at", static_cast<int64_t>(eligible_at[i]))
+              .str();
+      prov.Record(std::move(record));
+    }
+    if (persist != nullptr) {
+      DurableEvent kill;
+      kill.kind = DurableEventKind::kGangKill;
+      kill.time = now;
+      kill.job = victim;
+      kill.retries = outcome.retries;
+      kill.eligible_at = eligible_at[i];
+      durable(kill);
+    }
+
+    // Shrink-or-drop re-admission: an accepted-SLO gang whose
+    // reserved slot can no longer start on time gets one shot at a
+    // new reservation over the remaining window; on rejection it is
+    // downgraded to unreserved (it keeps running best-effort-style
+    // toward its deadline).
+    Job& job = jobs_[i];
+    if (config_.rayon != nullptr &&
+        job.slo_class == SloClass::kSloAccepted &&
+        job.reservation.start < eligible_at[i]) {
+      config_.rayon->Release(job.reservation, job.k);
+      if (persist != nullptr) {
+        DurableEvent release;
+        release.kind = DurableEventKind::kRayonRelease;
+        release.time = now;
+        release.job = job.id;
+        release.k = job.k;
+        release.interval = job.reservation;
+        durable(release);
+      }
+      RdlRequest request;
+      request.requester = job.id;
+      request.k = job.k;
+      request.duration = job.EstimatedRuntime(/*preferred=*/true);
+      request.window_start = eligible_at[i];
+      request.window_end = job.deadline;
+      ReservationDecision redo = config_.rayon->Submit(request);
+      if (redo.accepted) {
+        job.reservation = redo.interval;
+        ++outcome.readmissions;
+        ++metrics.readmissions;
+      } else {
+        job.slo_class = SloClass::kSloUnreserved;
+        job.reservation = {0, 0};
+        outcome.reservation_dropped = true;
+        ++metrics.reservations_dropped;
+      }
+      if (persist != nullptr) {
+        DurableEvent admit;
+        admit.kind = redo.accepted ? DurableEventKind::kRayonAdmit
+                                   : DurableEventKind::kRayonReject;
+        admit.time = now;
+        admit.job = job.id;
+        admit.k = job.k;
+        admit.interval = redo.interval;
+        durable(admit);
+        DurableEvent slo;
+        slo.kind = DurableEventKind::kSloUpdate;
+        slo.time = now;
+        slo.job = job.id;
+        slo.slo_class = static_cast<uint8_t>(job.slo_class);
+        slo.interval = job.reservation;
+        durable(slo);
+      }
+    }
+  };
+
+  // Journals an epoch bump (WAL-first) and applies it to the control plane.
+  auto fence_node = [&](NodeId node) {
+    if (persist != nullptr) {
+      DurableEvent bump;
+      bump.kind = DurableEventKind::kEpochBump;
+      bump.time = now;
+      bump.node = node;
+      bump.epoch = comms.fence_epoch(node) + 1;
+      durable(bump);
+    }
+    comms.FenceNode(node);
+  };
+
+  // Lossy-mode recall: the detector gave up on `sus` (suspected, declared
+  // dead, or observed to have silently rebooted); every believed-running
+  // gang touching it is killed and requeued. Members the kill command
+  // reaches release their nodes; unreachable members become an orphan copy
+  // whose nodes each get a fence-epoch bump, so their agents reject any
+  // command issued for the old incarnation of this placement.
+  auto recall_gangs_on = [&](NodeId sus, const char* reason) {
+    for (auto it = running.begin(); it != running.end();) {
+      RunningJob& run = it->second;
+      if (std::find(run.nodes.begin(), run.nodes.end(), sus) ==
+          run.nodes.end()) {
+        ++it;
+        continue;
+      }
+      JobId victim = it->first;
+      int i = index[victim];
+      if (prov.enabled()) {
+        ProvenanceRecord record;
+        record.kind = ProvKind::kSuspected;
+        record.time = now;
+        record.job = victim;
+        record.label = reason;
+        record.detail = JsonObj()
+                            .Field("node", sus)
+                            .Field("gang_nodes",
+                                   static_cast<int64_t>(run.nodes.size()))
+                            .str();
+        prov.Record(std::move(record));
+      }
+      auto dead = broken.find(victim);
+      std::vector<NodeId> killed;
+      std::vector<NodeId> orphaned;
+      for (NodeId member : run.nodes) {
+        if (dead != broken.end() && dead->second.count(member) != 0) {
+          continue;  // copy died with its node; nothing to kill or release
+        }
+        if (comms.node_up(member) && comms.LinkUp(member, now) &&
+            comms.DeliverCommand(member, now)) {
+          killed.push_back(member);
+        } else {
+          orphaned.push_back(member);
+        }
+      }
+      if (!killed.empty()) {
+        ledger.Release(killed);
+        busy_nodes -= static_cast<int>(killed.size());
+      }
+      trace({now, TraceEventKind::kFailureKill, victim, sus,
+             static_cast<int32_t>(run.nodes.size())});
+      if (!orphaned.empty()) {
+        OrphanJob orphan;
+        orphan.run = run;
+        orphan.run.nodes = orphaned;
+        orphan.run.counts = counts_of(orphaned);
+        orphan.intact = killed.empty() && broken.count(victim) == 0;
+        for (NodeId member : orphaned) {
+          fence_node(member);
+        }
+        orphans[victim] = std::move(orphan);
+      }
+      broken.erase(victim);
+      it = running.erase(it);
+      requeue_after_kill(i, victim, sus);
+    }
+  };
+
+  // Lossy-mode reconciliation for a reachable node whose agent epoch lags
+  // its fence epoch: each orphan copy on it is either adopted back wholesale
+  // (survivor keeps the slot — the copy is intact, the job was never
+  // re-placed, and every member is reachable) or fenced (stale tasks
+  // killed, agents advance to the fence epoch). Undeliverable commands
+  // leave the orphan in place: the node stays reconcilable and is retried
+  // next cycle.
+  auto reconcile_node = [&](NodeId node) {
+    bool fully_reconciled = true;
+    for (auto it = orphans.begin(); it != orphans.end();) {
+      OrphanJob& orphan = it->second;
+      if (std::find(orphan.run.nodes.begin(), orphan.run.nodes.end(), node) ==
+          orphan.run.nodes.end()) {
+        ++it;
+        continue;
+      }
+      JobId id = it->first;
+      int i = index[id];
+      bool adoptable = orphan.intact && state[i] == JobState::kPending;
+      if (adoptable) {
+        for (NodeId member : orphan.run.nodes) {
+          if (!comms.node_up(member) || !comms.LinkUp(member, now)) {
+            adoptable = false;
+            break;
+          }
+        }
+      }
+      if (adoptable) {
+        bool delivered = true;
+        for (NodeId member : orphan.run.nodes) {
+          if (!comms.DeliverCommand(member, now)) {
+            delivered = false;
+            break;
+          }
+        }
+        if (!delivered) {
+          fully_reconciled = false;
+          ++it;
+          continue;  // retry next cycle; epochs unchanged
+        }
+        RunningJob run = orphan.run;
+        it = orphans.erase(it);
+        for (NodeId member : run.nodes) {
+          comms.AgentAdoptEpoch(member);
+        }
+        ++metrics.orphans_adopted;
+        state[i] = JobState::kRunning;
+        JobOutcome& outcome = metrics.outcomes[i];
+        if (last_kill[i] >= 0) {
+          SimDuration gap = now - last_kill[i];
+          outcome.recovery_latency += gap;
+          metrics.recovery_latency.Add(static_cast<double>(gap));
+          last_kill[i] = -1;
+        }
+        if (prov.enabled()) {
+          ProvenanceRecord record;
+          record.kind = ProvKind::kReconciled;
+          record.time = now;
+          record.job = id;
+          record.label = "adopted";
+          record.value = static_cast<double>(run.nodes.size());
+          record.detail = JsonObj()
+                              .Field("node", node)
+                              .Field("start", static_cast<int64_t>(run.start))
+                              .str();
+          prov.Record(std::move(record));
+        }
+        if (persist != nullptr) {
+          DurableEvent launch;
+          launch.kind = DurableEventKind::kGangLaunch;
+          launch.time = now;
+          launch.job = id;
+          launch.gang.job = id;
+          launch.gang.counts = run.counts;
+          launch.gang.start = run.start;
+          launch.gang.expected_end = run.expected_end;
+          launch.gang.est_duration = run.expected_end - run.start;
+          durable(launch);
+        }
+        if (run.actual_end <= now) {
+          // The copy finished while orphaned; the completion surfaces with
+          // the reconciliation (its report needed a reachable control
+          // plane). Requeue it at `now` — the stale-entry check accepts it
+          // because actual_end is rewritten to match.
+          run.actual_end = now;
+        }
+        completions.push({run.actual_end, id});
+        running[id] = std::move(run);
+      } else {
+        std::vector<NodeId> fenced;
+        std::vector<NodeId> remaining;
+        for (NodeId member : orphan.run.nodes) {
+          if (comms.node_up(member) && comms.LinkUp(member, now) &&
+              comms.DeliverCommand(member, now)) {
+            fenced.push_back(member);
+            comms.AgentAdoptEpoch(member);
+          } else {
+            remaining.push_back(member);
+          }
+        }
+        if (!fenced.empty()) {
+          ledger.Release(fenced);
+          busy_nodes -= static_cast<int>(fenced.size());
+          metrics.fenced_tasks += static_cast<int>(fenced.size());
+          orphan.intact = false;
+          if (prov.enabled()) {
+            ProvenanceRecord record;
+            record.kind = ProvKind::kFenced;
+            record.time = now;
+            record.job = id;
+            record.label = "stale-epoch";
+            record.value = static_cast<double>(fenced.size());
+            record.detail =
+                JsonObj()
+                    .Field("node", node)
+                    .Field("remaining",
+                           static_cast<int64_t>(remaining.size()))
+                    .str();
+            prov.Record(std::move(record));
+          }
+        }
+        if (remaining.empty()) {
+          it = orphans.erase(it);
+        } else {
+          fully_reconciled = false;
+          orphan.run.nodes = std::move(remaining);
+          orphan.run.counts = counts_of(orphan.run.nodes);
+          ++it;
+        }
+      }
+    }
+    if (fully_reconciled) {
+      // Nothing stale remains on this node: its agent accepts the current
+      // epoch, clearing the reconcilable flag.
+      comms.AgentAdoptEpoch(node);
+    }
+  };
+
+  // The §15 belief invariant, checked at every cycle boundary under a lossy
+  // control plane: every occupied ledger node is owned by exactly one copy
+  // (believed-running gang, orphan, or failed-node hold), and no node is
+  // claimed twice. Double-occupancy or a lost slot is a bug, never a
+  // consequence of message loss.
+  auto check_belief_invariants = [&]() {
+    std::vector<int> owners(cluster_.num_nodes(), 0);
+    for (const auto& [id, run] : running) {
+      auto dead = broken.find(id);
+      for (NodeId member : run.nodes) {
+        if (dead != broken.end() && dead->second.count(member) != 0) {
+          continue;  // believed-held only; the copy died with its node
+        }
+        ++owners[member];
+      }
+    }
+    for (const auto& [id, orphan] : orphans) {
+      for (NodeId member : orphan.run.nodes) {
+        ++owners[member];
+      }
+    }
+    for (const auto& [node, recover_at] : failed_nodes) {
+      ++owners[node];
+    }
+    for (NodeId node = 0; node < cluster_.num_nodes(); ++node) {
+      const bool occupied = !ledger.is_free(node);
+      if (owners[node] > 1 || occupied != (owners[node] == 1)) {
+        ++metrics.belief_invariant_violations;
+        TETRI_LOG(kError) << "belief invariant violated at t=" << now
+                          << ": node " << node << " has " << owners[node]
+                          << " owners, ledger "
+                          << (occupied ? "occupied" : "free");
+      }
+    }
+  };
+
   while (outstanding > 0 && now <= config_.max_time) {
     SimTime next_event = next_cycle;
     if (next_arrival < n) {
@@ -633,6 +1072,11 @@ SimMetrics Simulator::Run() {
       trace({now, TraceEventKind::kNodeRecover, -1, node});
       sim_ins.node_recoveries->Increment();
       failed_nodes.erase(node);
+      if (lossy) {
+        // The agent reboots with a bumped incarnation; its heartbeats
+        // resume from here and the detector notices on its next pass.
+        comms.NodeUp(node, now);
+      }
     }
 
     // Node failures: kill whatever ran on the node, requeue the gang under
@@ -644,7 +1088,9 @@ SimMetrics Simulator::Run() {
           failed_nodes.count(failure.node) != 0) {
         continue;
       }
-      if (!ledger.is_free(failure.node)) {
+      if (!ledger.is_free(failure.node) && !lossy) {
+        // Oracle path: the scheduler learns of the failure instantly and
+        // kills + requeues the whole gang on the spot.
         for (auto it = running.begin(); it != running.end(); ++it) {
           auto& nodes = it->second.nodes;
           if (std::find(nodes.begin(), nodes.end(), failure.node) ==
@@ -658,130 +1104,53 @@ SimMetrics Simulator::Run() {
           trace({now, TraceEventKind::kFailureKill, victim, failure.node,
                  static_cast<int32_t>(nodes.size())});
           running.erase(it);
-          ++metrics.failure_kills;
-          sim_ins.failure_kills->Increment();
-          JobOutcome& outcome = metrics.outcomes[i];
-          ++outcome.retries;
-          if (outcome.retries > config_.max_retries) {
-            // Retry budget exhausted: drop instead of requeueing.
-            state[i] = JobState::kDropped;
-            outcome.dropped = true;
-            ++metrics.retries_exhausted;
-            sim_ins.retries_exhausted->Increment();
-            sim_ins.jobs_dropped->Increment();
-            trace({now, TraceEventKind::kDrop, victim});
-            if (prov.enabled()) {
-              ProvenanceRecord record;
-              record.kind = ProvKind::kDropped;
-              record.time = now;
-              record.job = victim;
-              record.label = "retries-exhausted";
-              record.value = static_cast<double>(outcome.retries);
-              record.detail = JsonObj()
-                                  .Field("node", failure.node)
-                                  .Field("retries", outcome.retries)
-                                  .str();
-              prov.Record(std::move(record));
+          requeue_after_kill(i, victim, failure.node);
+          break;
+        }
+      } else if (!ledger.is_free(failure.node)) {
+        // Lossy path: the scheduler notices nothing yet. The copy on the
+        // node dies with it; the rest of the gang keeps occupying its
+        // nodes. A believed-running gang becomes `broken` (its completion
+        // is cancelled — a gang with a dead member never finishes) and is
+        // recalled only once the detector suspects the node or spots its
+        // reboot. An orphan copy just shrinks.
+        bool found = false;
+        for (auto& [id, run] : running) {
+          auto pos =
+              std::find(run.nodes.begin(), run.nodes.end(), failure.node);
+          if (pos == run.nodes.end()) {
+            continue;
+          }
+          auto dead = broken.find(id);
+          if (dead != broken.end() && dead->second.count(failure.node) != 0) {
+            continue;  // this gang's copy there died in an earlier incarnation
+          }
+          broken[id].insert(failure.node);
+          ledger.Release({failure.node});
+          --busy_nodes;
+          run.actual_end = kTimeNever;
+          found = true;
+          break;
+        }
+        if (!found) {
+          for (auto it = orphans.begin(); it != orphans.end(); ++it) {
+            auto& run = it->second.run;
+            auto pos =
+                std::find(run.nodes.begin(), run.nodes.end(), failure.node);
+            if (pos == run.nodes.end()) {
+              continue;
             }
-            if (persist != nullptr) {
-              DurableEvent drop;
-              drop.kind = DurableEventKind::kJobDropped;
-              drop.time = now;
-              drop.job = victim;
-              durable(drop);
+            run.nodes.erase(pos);
+            ledger.Release({failure.node});
+            --busy_nodes;
+            it->second.intact = false;
+            if (run.nodes.empty()) {
+              orphans.erase(it);
+            } else {
+              run.counts = counts_of(run.nodes);
             }
-            --outstanding;
             break;
           }
-          state[i] = JobState::kPending;  // gang restarts from scratch
-          last_kill[i] = now;
-          SimDuration backoff = 0;
-          if (config_.retry_backoff > 0) {
-            backoff = std::min(config_.retry_backoff_cap,
-                               config_.retry_backoff
-                                   << std::min(outcome.retries - 1, 30));
-          }
-          eligible_at[i] = now + backoff;
-          if (prov.enabled()) {
-            ProvenanceRecord record;
-            record.kind = ProvKind::kFailureKill;
-            record.time = now;
-            record.job = victim;
-            record.label = "node-failure";
-            record.value = static_cast<double>(outcome.retries);
-            record.detail =
-                JsonObj()
-                    .Field("node", failure.node)
-                    .Field("retries", outcome.retries)
-                    .Field("eligible_at", static_cast<int64_t>(eligible_at[i]))
-                    .str();
-            prov.Record(std::move(record));
-          }
-          if (persist != nullptr) {
-            DurableEvent kill;
-            kill.kind = DurableEventKind::kGangKill;
-            kill.time = now;
-            kill.job = victim;
-            kill.retries = outcome.retries;
-            kill.eligible_at = eligible_at[i];
-            durable(kill);
-          }
-
-          // Shrink-or-drop re-admission: an accepted-SLO gang whose
-          // reserved slot can no longer start on time gets one shot at a
-          // new reservation over the remaining window; on rejection it is
-          // downgraded to unreserved (it keeps running best-effort-style
-          // toward its deadline).
-          Job& job = jobs_[i];
-          if (config_.rayon != nullptr &&
-              job.slo_class == SloClass::kSloAccepted &&
-              job.reservation.start < eligible_at[i]) {
-            config_.rayon->Release(job.reservation, job.k);
-            if (persist != nullptr) {
-              DurableEvent release;
-              release.kind = DurableEventKind::kRayonRelease;
-              release.time = now;
-              release.job = job.id;
-              release.k = job.k;
-              release.interval = job.reservation;
-              durable(release);
-            }
-            RdlRequest request;
-            request.requester = job.id;
-            request.k = job.k;
-            request.duration = job.EstimatedRuntime(/*preferred=*/true);
-            request.window_start = eligible_at[i];
-            request.window_end = job.deadline;
-            ReservationDecision redo = config_.rayon->Submit(request);
-            if (redo.accepted) {
-              job.reservation = redo.interval;
-              ++outcome.readmissions;
-              ++metrics.readmissions;
-            } else {
-              job.slo_class = SloClass::kSloUnreserved;
-              job.reservation = {0, 0};
-              outcome.reservation_dropped = true;
-              ++metrics.reservations_dropped;
-            }
-            if (persist != nullptr) {
-              DurableEvent admit;
-              admit.kind = redo.accepted ? DurableEventKind::kRayonAdmit
-                                         : DurableEventKind::kRayonReject;
-              admit.time = now;
-              admit.job = job.id;
-              admit.k = job.k;
-              admit.interval = redo.interval;
-              durable(admit);
-              DurableEvent slo;
-              slo.kind = DurableEventKind::kSloUpdate;
-              slo.time = now;
-              slo.job = job.id;
-              slo.slo_class = static_cast<uint8_t>(job.slo_class);
-              slo.interval = job.reservation;
-              durable(slo);
-            }
-          }
-          break;
         }
       }
       ledger.TakeSpecific(failure.node);
@@ -790,6 +1159,9 @@ SimMetrics Simulator::Run() {
       failed_nodes[failure.node] = failure.recover_at;
       if (failure.recover_at != kTimeNever) {
         recoveries.push({failure.recover_at, failure.node});
+      }
+      if (lossy) {
+        comms.NodeDown(failure.node, now);
       }
     }
 
@@ -840,6 +1212,28 @@ SimMetrics Simulator::Run() {
       }
     }
 
+    // Detector pass (DESIGN.md §15): fold heartbeat arrivals up to now,
+    // apply belief transitions, then act on them — recall believed-running
+    // gangs from nodes the scheduler just gave up on (or that silently
+    // rebooted out from under their tasks), and reconcile reachable nodes
+    // whose agents lag their fence epoch.
+    if (lossy) {
+      ++cycle_count;
+      ControlPlane::Verdict verdict = comms.Evaluate(now, cycle_count);
+      for (NodeId node : verdict.newly_suspect) {
+        recall_gangs_on(node, "suspected");
+      }
+      for (NodeId node : verdict.newly_dead) {
+        recall_gangs_on(node, "dead");  // idempotent if recalled at suspicion
+      }
+      for (NodeId node : verdict.rebooted) {
+        recall_gangs_on(node, "rebooted");
+      }
+      for (NodeId node : verdict.reconcilable) {
+        reconcile_node(node);
+      }
+    }
+
     // Build the policy's view.
     std::vector<const Job*> pending;
     for (int i = 0; i < n; ++i) {
@@ -860,15 +1254,35 @@ SimMetrics Simulator::Run() {
     std::vector<RunningHold> holds;
     holds.reserve(running.size() + failed_nodes.size());
     // Failed nodes appear to policies as unpreemptible holds lasting until
-    // their recovery time.
-    for (const auto& [node, recover_at] : failed_nodes) {
-      RunningHold hold;
-      hold.job = -1000 - node;  // synthetic id, never matches a real job
-      hold.slo_class = SloClass::kSloAccepted;
-      hold.reservation_end = kTimeNever;
-      hold.counts[cluster_.partition_of(node)] = 1;
-      hold.expected_end = recover_at;
-      holds.push_back(std::move(hold));
+    // their recovery time. Under a lossy control plane the scheduler cannot
+    // see ground truth: the holds come from the detector's believed-down
+    // set instead (no recovery ETA — a suspicion carries none), so the
+    // policy may plan onto capacity that is actually gone (bounced at
+    // commit) and may ignore capacity that is actually fine.
+    if (!lossy) {
+      for (const auto& [node, recover_at] : failed_nodes) {
+        RunningHold hold;
+        hold.job = -1000 - node;  // synthetic id, never matches a real job
+        hold.slo_class = SloClass::kSloAccepted;
+        hold.reservation_end = kTimeNever;
+        hold.counts[cluster_.partition_of(node)] = 1;
+        hold.expected_end = recover_at;
+        holds.push_back(std::move(hold));
+      }
+    } else {
+      const std::vector<char>& down = comms.believed_down_mask();
+      for (NodeId node = 0; node < cluster_.num_nodes(); ++node) {
+        if (!down[node]) {
+          continue;
+        }
+        RunningHold hold;
+        hold.job = -1000 - node;  // synthetic id, never matches a real job
+        hold.slo_class = SloClass::kSloAccepted;
+        hold.reservation_end = kTimeNever;
+        hold.counts[cluster_.partition_of(node)] = 1;
+        hold.expected_end = kTimeNever;
+        holds.push_back(std::move(hold));
+      }
     }
     for (const auto& [id, run] : running) {
       const Job& job = jobs_[index[id]];
@@ -1053,11 +1467,40 @@ SimMetrics Simulator::Run() {
           reject("gang size out of range");
           continue;
         }
+        // A plan the scheduler built against a stale believed view is not a
+        // policy bug: ground truth refuses it (the gang stays pending and is
+        // replanned next cycle) without charging the validator.
+        auto bounce = [&](const char* why) {
+          ++metrics.stale_placement_bounces;
+          trace({now, TraceEventKind::kPlanReject, placement.job});
+          if (prov.enabled()) {
+            ProvenanceRecord record;
+            record.kind = ProvKind::kRejected;
+            record.time = now;
+            record.job = placement.job;
+            record.label = "stale-view";
+            record.detail = JsonObj().Field("why", why).str();
+            prov.Record(std::move(record));
+          }
+        };
         bool fits = true;
+        bool stale = false;
         for (const auto& [partition, count] : placement.counts) {
           if (partition < 0 || partition >= cluster_.num_partitions() ||
-              count < 0 || count > ledger.free_in_partition(partition)) {
+              count < 0) {
             fits = false;
+            break;
+          }
+          if (!lossy) {
+            if (count > ledger.free_in_partition(partition)) {
+              fits = false;
+              break;
+            }
+          } else if (count > ledger.FreeAvoiding(
+                                 partition, comms.believed_down_mask())) {
+            // Physically impossible (or only satisfiable by placing onto
+            // believed-down nodes): the believed view was stale.
+            stale = true;
             break;
           }
         }
@@ -1065,12 +1508,55 @@ SimMetrics Simulator::Run() {
           reject("exceeds free partition capacity");
           continue;
         }
+        if (stale) {
+          bounce("capacity");
+          continue;
+        }
 
         RunningJob run;
         run.counts = placement.counts;
-        for (const auto& [partition, count] : placement.counts) {
-          std::vector<NodeId> nodes = ledger.Acquire(partition, count);
-          run.nodes.insert(run.nodes.end(), nodes.begin(), nodes.end());
+        if (!lossy) {
+          for (const auto& [partition, count] : placement.counts) {
+            std::vector<NodeId> nodes = ledger.Acquire(partition, count);
+            run.nodes.insert(run.nodes.end(), nodes.begin(), nodes.end());
+          }
+        } else {
+          bool short_take = false;
+          for (const auto& [partition, count] : placement.counts) {
+            std::vector<NodeId> nodes = ledger.AcquireAvoiding(
+                partition, count, comms.believed_down_mask());
+            run.nodes.insert(run.nodes.end(), nodes.begin(), nodes.end());
+            if (static_cast<int>(nodes.size()) < count) {
+              short_take = true;
+              break;
+            }
+          }
+          if (short_take) {
+            ledger.Release(run.nodes);
+            bounce("short-take");
+            continue;
+          }
+          // The launch command must reach every member or none: a partial
+          // gang is never started. A lost command aborts the whole launch
+          // (the agent-side slots are released; the gang retries next
+          // cycle).
+          bool delivered = true;
+          for (NodeId member : run.nodes) {
+            if (!comms.DeliverCommand(member, now)) {
+              delivered = false;
+              break;
+            }
+          }
+          if (!delivered) {
+            ledger.Release(run.nodes);
+            bounce("command-lost");
+            continue;
+          }
+          // Delivered placement commands carry the current fence epoch;
+          // accepting one adopts it.
+          for (NodeId member : run.nodes) {
+            comms.AgentAdoptEpoch(member);
+          }
         }
         busy_nodes += static_cast<int>(run.nodes.size());
 
@@ -1178,11 +1664,35 @@ SimMetrics Simulator::Run() {
       recover_scheduler(crash != nullptr ? crash->phase
                                          : CrashPhase::kBeforeCycle);
     }
+    if (lossy) {
+      check_belief_invariants();
+    }
   }
 
   if (now > config_.max_time) {
     TETRI_LOG(kWarning) << "simulation hit max_time with " << outstanding
                         << " jobs outstanding";
+  }
+  if (lossy) {
+    const ControlPlane::Counters& cc = comms.counters();
+    metrics.suspicions = static_cast<int>(cc.suspicions);
+    metrics.false_suspicions = static_cast<int>(cc.false_suspicions);
+    metrics.dead_declared = static_cast<int>(cc.dead_declared);
+    metrics.heartbeats_dropped = cc.heartbeats_dropped;
+    metrics.commands_dropped = cc.commands_dropped;
+    metrics.stale_command_rejects = cc.stale_command_rejects;
+    for (double latency : comms.detection_latencies()) {
+      metrics.detection_latency.Add(latency);
+    }
+    sim_ins.detector_suspicions->Increment(cc.suspicions);
+    sim_ins.detector_false_suspicions->Increment(cc.false_suspicions);
+    sim_ins.detector_dead_declared->Increment(cc.dead_declared);
+    sim_ins.detector_fenced_tasks->Increment(metrics.fenced_tasks);
+    sim_ins.detector_orphans_adopted->Increment(metrics.orphans_adopted);
+    sim_ins.detector_stale_bounces->Increment(
+        metrics.stale_placement_bounces);
+    sim_ins.detector_heartbeats_dropped->Increment(cc.heartbeats_dropped);
+    sim_ins.detector_commands_dropped->Increment(cc.commands_dropped);
   }
   metrics.makespan = now;
   metrics.utilization =
@@ -1318,6 +1828,18 @@ std::string SimMetrics::Summary() const {
     out << "; budget: " << budget_blown_cycles << " blown cycles, "
         << plan_ahead_adaptations << " plan-ahead adaptations, "
         << certifier_rejects << " certifier rejects";
+  }
+  if (suspicions > 0 || stale_placement_bounces > 0 || fenced_tasks > 0 ||
+      belief_invariant_violations > 0) {
+    out << "; detector: " << suspicions << " suspicions ("
+        << false_suspicions << " false), " << dead_declared << " dead, "
+        << fenced_tasks << " fenced tasks, " << orphans_adopted
+        << " orphans adopted, " << stale_placement_bounces
+        << " stale bounces, " << belief_invariant_violations
+        << " belief violations";
+    if (detection_latency.count() > 0) {
+      out << ", mean detection " << detection_latency.Mean() << " s";
+    }
   }
   if (scheduler_crashes > 0) {
     out << "; crashes: " << scheduler_crashes << " injected, " << recoveries

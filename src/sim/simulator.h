@@ -26,6 +26,7 @@
 #include "src/core/policy.h"
 #include "src/persist/persist.h"
 #include "src/rayon/rayon.h"
+#include "src/sim/comms.h"
 #include "src/sim/faults.h"
 #include "src/sim/trace.h"
 
@@ -63,6 +64,16 @@ struct SimConfig {
   int max_retries = 5;
   SimDuration retry_backoff = 4;
   SimDuration retry_backoff_cap = 64;
+  // Lossy control plane (comms.h, DESIGN.md §15). When enabled and not in
+  // oracle mode, the scheduler stops seeing ground truth: node failures are
+  // learned through heartbeat silence (timeout / phi-accrual detector),
+  // placement and kill commands can be lost, and every cycle plans against
+  // the believed ClusterView. Epoch fencing keeps false suspicions safe:
+  // unreachable copies are orphaned and later adopted back or fenced. With
+  // the default (disabled / oracle) params the simulator takes its legacy
+  // instant-detection path and schedules are byte-identical to pre-§15
+  // builds. Usually copied from FaultSchedule::comms.
+  CommsParams comms;
   // Re-admission hook: when set (the agenda used by ApplyAdmission), an
   // accepted-SLO gang whose reservation no longer fits its post-kill
   // restart window is re-admitted against the remaining window
@@ -175,6 +186,21 @@ struct SimMetrics {
   int budget_blown_cycles = 0;      // cycles exceeding their wall-clock budget
   int plan_ahead_adaptations = 0;   // AIMD shrink/restore steps taken
   int certifier_rejects = 0;        // incumbents refused by the plan certifier
+
+  // Lossy control plane / failure detector accounting (DESIGN.md §15).
+  int suspicions = 0;           // kAlive -> kSuspect transitions
+  int false_suspicions = 0;     // suspected nodes that were actually up
+  int dead_declared = 0;        // kSuspect -> kDead transitions
+  int fenced_tasks = 0;         // stale orphan tasks killed via epoch fencing
+  int orphans_adopted = 0;      // orphaned copies adopted back intact
+  int stale_placement_bounces = 0;  // commits refused by ground truth
+  int64_t heartbeats_dropped = 0;   // lost to message faults or partitions
+  int64_t commands_dropped = 0;     // placement/kill commands lost
+  int64_t stale_command_rejects = 0;  // duplicate/stale commands refused
+  // Nodes occupied by no copy, or claimed by more than one copy, at any
+  // cycle boundary. The §15 invariant: always zero.
+  int belief_invariant_violations = 0;
+  SampleStats detection_latency;  // true failure -> suspicion gap (s)
 
   // Scheduler-crash/persistence accounting (DESIGN.md §11).
   int scheduler_crashes = 0;     // injected crashes that fired
