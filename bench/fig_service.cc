@@ -1,0 +1,196 @@
+// Service-layer load bench (DESIGN.md §16; not a paper figure).
+//
+// An in-process tetrischedd serves closed-loop clients over socketpairs
+// while the offered submission rate sweeps from a trickle to a flood well
+// past the admission bound. Each client paces its submissions to its share
+// of the offered rate and then blocks on the reply, so measured latency is
+// the full request path: frame encode -> daemon poll loop -> admission ->
+// response frame. Per-rate cells report admission throughput (accepted/s),
+// the rejection ("overloaded") rate, and request latency p50/p99.
+//
+// With TETRISCHED_BENCH_JSON set, one record per offered-rate cell is
+// written to BENCH_service.json. TETRI_QUICK shortens the measured window.
+
+#include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "bench/bench_json.h"
+#include "src/client/client.h"
+#include "src/net/socket.h"
+#include "src/service/daemon.h"
+
+namespace tetrisched {
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+struct ClientStats {
+  int64_t accepted = 0;
+  int64_t rejected = 0;
+  int64_t errors = 0;
+  std::vector<double> latency_ms;
+};
+
+double Percentile(std::vector<double>* sorted, double p) {
+  if (sorted->empty()) {
+    return 0.0;
+  }
+  size_t index = static_cast<size_t>(p * static_cast<double>(sorted->size()));
+  index = std::min(index, sorted->size() - 1);
+  return (*sorted)[index];
+}
+
+// One closed-loop client: submits small jobs paced at `rps` requests per
+// second until the deadline, blocking on each reply.
+ClientStats RunClient(ServiceClient client, double rps,
+                      Clock::time_point deadline) {
+  ClientStats stats;
+  JsonObj spec;
+  spec.Field("type", "unconstrained");
+  spec.Field("k", static_cast<int64_t>(1));
+  spec.Field("runtime", static_cast<int64_t>(4));
+  auto interval = std::chrono::duration_cast<Clock::duration>(
+      std::chrono::duration<double>(1.0 / rps));
+  Clock::time_point next_send = Clock::now();
+  while (Clock::now() < deadline) {
+    if (Clock::now() < next_send) {
+      std::this_thread::sleep_until(std::min(next_send, deadline));
+      continue;
+    }
+    next_send += interval;
+    Clock::time_point started = Clock::now();
+    ServiceReply reply = client.SubmitSpec(spec);
+    double ms = std::chrono::duration<double, std::milli>(Clock::now() -
+                                                          started)
+                    .count();
+    if (!reply.transport_ok) {
+      ++stats.errors;
+      break;
+    }
+    stats.latency_ms.push_back(ms);
+    if (reply.ok) {
+      ++stats.accepted;
+    } else if (reply.Overloaded()) {
+      ++stats.rejected;
+    } else {
+      ++stats.errors;
+    }
+  }
+  return stats;
+}
+
+}  // namespace
+}  // namespace tetrisched
+
+int main() {
+  using namespace tetrisched;
+
+  const bool quick = std::getenv("TETRI_QUICK") != nullptr;
+  const double window_s = quick ? 0.4 : 2.0;
+  const int kClients = 4;
+
+  std::vector<double> offered_rps = {100, 400, 1600, 6400};
+  if (quick) {
+    offered_rps = {200, 3200};
+  }
+
+  BenchJsonWriter writer;
+  std::printf(
+      "service load sweep: %d closed-loop clients, %.1fs per cell\n"
+      "%10s %12s %12s %10s %10s %10s\n",
+      kClients, window_s, "offered/s", "achieved/s", "accepted/s", "rej_rate",
+      "p50_ms", "p99_ms");
+
+  for (double rps : offered_rps) {
+    DaemonOptions options;
+    options.racks = 2;
+    options.nodes_per_rack = 4;
+    options.cycle_period_ms = 5;
+    options.sim_seconds_per_cycle = 4;
+    options.admission.max_queued = 64;
+    options.admission.admit_per_cycle = 32;
+    options.admission.cycle_period_ms = 5;
+    options.max_pending_jobs = 512;
+    SchedulerDaemon daemon(options);
+    if (!daemon.Start()) {
+      std::fprintf(stderr, "daemon failed to start\n");
+      return 1;
+    }
+    std::thread serving([&daemon] { daemon.Run(); });
+
+    std::vector<ServiceClient> clients;
+    for (int c = 0; c < kClients; ++c) {
+      auto [daemon_end, client_end] = MakeSocketPair();
+      daemon.AddConnectionFd(daemon_end.Release());
+      ServiceClient client = ServiceClient::Adopt(client_end.Release());
+      client.set_client_name("load-" + std::to_string(c));
+      client.set_timeout_ms(5000);
+      clients.push_back(std::move(client));
+    }
+
+    Clock::time_point started = Clock::now();
+    Clock::time_point deadline =
+        started + std::chrono::duration_cast<Clock::duration>(
+                      std::chrono::duration<double>(window_s));
+    std::vector<std::thread> threads;
+    std::vector<ClientStats> stats(kClients);
+    for (int c = 0; c < kClients; ++c) {
+      threads.emplace_back([&, c] {
+        stats[c] = RunClient(std::move(clients[c]), rps / kClients, deadline);
+      });
+    }
+    for (std::thread& thread : threads) {
+      thread.join();
+    }
+    double elapsed_s =
+        std::chrono::duration<double>(Clock::now() - started).count();
+
+    ClientStats total;
+    for (const ClientStats& s : stats) {
+      total.accepted += s.accepted;
+      total.rejected += s.rejected;
+      total.errors += s.errors;
+      total.latency_ms.insert(total.latency_ms.end(), s.latency_ms.begin(),
+                              s.latency_ms.end());
+    }
+    daemon.RequestStop();
+    serving.join();
+
+    std::sort(total.latency_ms.begin(), total.latency_ms.end());
+    int64_t requests = total.accepted + total.rejected;
+    double achieved = static_cast<double>(requests) / elapsed_s;
+    double admitted = static_cast<double>(total.accepted) / elapsed_s;
+    double rejection_rate =
+        requests > 0
+            ? static_cast<double>(total.rejected) / static_cast<double>(requests)
+            : 0.0;
+    double p50 = Percentile(&total.latency_ms, 0.50);
+    double p99 = Percentile(&total.latency_ms, 0.99);
+    std::printf("%10.0f %12.0f %12.0f %9.1f%% %10.3f %10.3f\n", rps, achieved,
+                admitted, 100.0 * rejection_rate, p50, p99);
+    if (total.errors > 0) {
+      std::fprintf(stderr, "  (%lld unexpected errors)\n",
+                   static_cast<long long>(total.errors));
+    }
+
+    writer.Add("service_offered_" + std::to_string(static_cast<int>(rps)),
+               elapsed_s * 1000.0,
+               {{"offered_rps", rps},
+                {"achieved_rps", achieved},
+                {"admitted_rps", admitted},
+                {"accepted", static_cast<double>(total.accepted)},
+                {"rejected", static_cast<double>(total.rejected)},
+                {"rejection_rate", rejection_rate},
+                {"latency_p50_ms", p50},
+                {"latency_p99_ms", p99}});
+  }
+
+  writer.WriteIfRequested("BENCH_service.json");
+  return 0;
+}

@@ -1,0 +1,197 @@
+#include "src/client/client.h"
+
+#include <poll.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <chrono>
+
+#include "src/common/logging.h"
+
+namespace tetrisched {
+
+namespace {
+
+ServiceReply TransportFailure(std::string message) {
+  ServiceReply reply;
+  reply.transport_ok = false;
+  reply.error = "transport";
+  reply.message = std::move(message);
+  return reply;
+}
+
+}  // namespace
+
+ServiceClient::ServiceClient(UniqueFd fd) : fd_(std::move(fd)) {}
+
+ServiceClient ServiceClient::ConnectTcp(int port) {
+  return ServiceClient(ConnectTcpLoopback(port));
+}
+
+ServiceClient ServiceClient::ConnectUnix(const std::string& path) {
+  return ServiceClient(tetrisched::ConnectUnix(path));
+}
+
+ServiceClient ServiceClient::Adopt(int fd) {
+  return ServiceClient(UniqueFd(fd));
+}
+
+bool ServiceClient::SendAll(std::string_view bytes) {
+  size_t sent = 0;
+  while (sent < bytes.size()) {
+    ssize_t n = ::write(fd_.get(), bytes.data() + sent, bytes.size() - sent);
+    if (n > 0) {
+      sent += static_cast<size_t>(n);
+      continue;
+    }
+    if (n < 0 && errno == EINTR) {
+      continue;
+    }
+    if (n < 0 && (errno == EAGAIN || errno == EWOULDBLOCK)) {
+      // The fd may be nonblocking (adopted socketpair ends); wait for space.
+      pollfd p{fd_.get(), POLLOUT, 0};
+      if (::poll(&p, 1, timeout_ms_ <= 0 ? -1 : timeout_ms_) > 0) {
+        continue;
+      }
+    }
+    return false;
+  }
+  return true;
+}
+
+bool ServiceClient::RecvFrame(std::string* payload) {
+  auto deadline = std::chrono::steady_clock::now() +
+                  std::chrono::milliseconds(timeout_ms_ <= 0 ? 0 : timeout_ms_);
+  for (;;) {
+    if (decoder_.Next(payload) == FrameDecoder::Result::kFrame) {
+      return true;
+    }
+    int wait_ms = -1;
+    if (timeout_ms_ > 0) {
+      auto left = std::chrono::duration_cast<std::chrono::milliseconds>(
+          deadline - std::chrono::steady_clock::now());
+      if (left.count() <= 0) {
+        return false;
+      }
+      wait_ms = static_cast<int>(left.count());
+    }
+    pollfd p{fd_.get(), POLLIN, 0};
+    int rc = ::poll(&p, 1, wait_ms);
+    if (rc == 0) {
+      return false;  // timed out
+    }
+    if (rc < 0) {
+      if (errno == EINTR) {
+        continue;
+      }
+      return false;
+    }
+    char buf[16384];
+    ssize_t n = ::read(fd_.get(), buf, sizeof(buf));
+    if (n > 0) {
+      decoder_.Feed(std::string_view(buf, static_cast<size_t>(n)));
+      continue;
+    }
+    if (n < 0 && (errno == EINTR || errno == EAGAIN || errno == EWOULDBLOCK)) {
+      continue;
+    }
+    return false;  // peer closed or hard error
+  }
+}
+
+ServiceReply ServiceClient::Call(const std::string& op,
+                                 const JsonObj& fields) {
+  if (!fd_.valid()) {
+    return TransportFailure("not connected");
+  }
+  int64_t id = next_id_++;
+  JsonObj envelope;
+  envelope.Field("v", static_cast<int64_t>(1));
+  envelope.Field("op", op);
+  envelope.Field("id", id);
+  if (!client_name_.empty()) {
+    envelope.Field("client", client_name_);
+  }
+  std::string request = envelope.str();
+  if (!fields.empty()) {
+    // Splice the op-specific fields into the envelope object.
+    std::string body = fields.str();
+    request.pop_back();  // '}'
+    request += ",";
+    request.append(body, 1, body.size() - 1);
+  }
+  if (!SendAll(EncodeNetFrame(request))) {
+    fd_.Reset();
+    return TransportFailure("send failed");
+  }
+  // One request in flight at a time, but skip any frame whose id does not
+  // match (stale responses after a timed-out call).
+  for (;;) {
+    std::string payload;
+    if (!RecvFrame(&payload)) {
+      fd_.Reset();
+      return TransportFailure("no response (timeout or closed)");
+    }
+    ServiceReply reply;
+    std::string error;
+    if (!JsonParse(payload, &reply.body, &error)) {
+      TETRI_LOG(kWarning) << "client: undecodable response: " << error;
+      continue;
+    }
+    if (reply.body.IntOr("id", -1) != id) {
+      continue;
+    }
+    reply.transport_ok = true;
+    reply.ok = reply.body.BoolOr("ok", false);
+    reply.error = reply.body.StringOr("error", "");
+    reply.message = reply.body.StringOr("message", "");
+    reply.retry_after_ms = reply.body.IntOr("retry_after_ms", -1);
+    return reply;
+  }
+}
+
+ServiceReply ServiceClient::SubmitSpec(const JsonObj& job_spec) {
+  JsonObj fields;
+  fields.FieldRaw("job", job_spec.str());
+  return Call("submit", fields);
+}
+
+ServiceReply ServiceClient::SubmitStrl(const std::string& strl_text) {
+  JsonObj fields;
+  fields.Field("strl", strl_text);
+  return Call("submit", fields);
+}
+
+ServiceReply ServiceClient::Status() { return Call("status"); }
+
+ServiceReply ServiceClient::StatusOf(int64_t job) {
+  JsonObj fields;
+  fields.Field("job", job);
+  return Call("status", fields);
+}
+
+ServiceReply ServiceClient::Cancel(int64_t job) {
+  JsonObj fields;
+  fields.Field("job", job);
+  return Call("cancel", fields);
+}
+
+ServiceReply ServiceClient::Explain(int64_t job) {
+  JsonObj fields;
+  if (job >= 0) {
+    fields.Field("job", job);
+  }
+  return Call("explain", fields);
+}
+
+ServiceReply ServiceClient::Metrics(const std::string& format) {
+  JsonObj fields;
+  fields.Field("format", format);
+  return Call("metrics", fields);
+}
+
+ServiceReply ServiceClient::Drain() { return Call("drain"); }
+
+ServiceReply ServiceClient::Shutdown() { return Call("shutdown"); }
+
+}  // namespace tetrisched

@@ -1,6 +1,7 @@
 #include "src/common/metrics.h"
 
 #include <algorithm>
+#include <chrono>
 #include <cmath>
 #include <cstdio>
 #include <limits>
@@ -185,15 +186,26 @@ MetricsSnapshot MetricsRegistry::Snapshot() const {
   return snap;
 }
 
+namespace {
+
+// Instrument names may embed Prometheus labels ("name{k=\"v\"}"); the TYPE
+// comment line must carry the bare metric name.
+std::string PromBaseName(const std::string& name) {
+  size_t brace = name.find('{');
+  return brace == std::string::npos ? name : name.substr(0, brace);
+}
+
+}  // namespace
+
 std::string MetricsRegistry::ToPrometheusText() const {
   MetricsSnapshot snap = Snapshot();
   std::string out;
   for (const auto& [name, value] : snap.counters) {
-    out += "# TYPE " + name + " counter\n";
+    out += "# TYPE " + PromBaseName(name) + " counter\n";
     out += name + " " + std::to_string(value) + "\n";
   }
   for (const auto& [name, value] : snap.gauges) {
-    out += "# TYPE " + name + " gauge\n";
+    out += "# TYPE " + PromBaseName(name) + " gauge\n";
     out += name + " " + FormatNumber(value) + "\n";
   }
   for (const HistogramSnapshot& h : snap.histograms) {
@@ -275,6 +287,62 @@ void MetricsRegistry::Reset() {
 MetricsRegistry& GlobalMetrics() {
   static MetricsRegistry* registry = new MetricsRegistry();
   return *registry;
+}
+
+namespace {
+
+// Captured at static-init time, close enough to process start for an
+// uptime gauge.
+const std::chrono::steady_clock::time_point g_process_start =
+    std::chrono::steady_clock::now();
+
+std::string BuildCompilerString() {
+#if defined(__clang_major__)
+  return "clang-" + std::to_string(__clang_major__) + "." +
+         std::to_string(__clang_minor__);
+#elif defined(__GNUC__)
+  return "gcc-" + std::to_string(__GNUC__) + "." +
+         std::to_string(__GNUC_MINOR__);
+#else
+  return "unknown";
+#endif
+}
+
+std::string BuildSanitizerString() {
+  std::string out;
+#if defined(__SANITIZE_ADDRESS__)
+  out += "asan";
+#elif defined(__has_feature)
+#if __has_feature(address_sanitizer)
+  out += "asan";
+#endif
+#endif
+#if defined(__SANITIZE_THREAD__)
+  out += out.empty() ? "tsan" : "+tsan";
+#endif
+  return out.empty() ? "none" : out;
+}
+
+}  // namespace
+
+const std::string& BuildInfoMetricName() {
+#ifndef TETRISCHED_VERSION
+#define TETRISCHED_VERSION "dev"
+#endif
+  static const std::string name = "tetrisched_build_info{version=\"" +
+                                  std::string(TETRISCHED_VERSION) +
+                                  "\",compiler=\"" + BuildCompilerString() +
+                                  "\",sanitizers=\"" +
+                                  BuildSanitizerString() + "\"}";
+  return name;
+}
+
+void UpdateProcessMetrics() {
+  double uptime = std::chrono::duration<double>(
+                      std::chrono::steady_clock::now() - g_process_start)
+                      .count();
+  GlobalMetrics().GetGauge("tetrisched_process_uptime_seconds")->Set(uptime);
+  GlobalMetrics().GetGauge(BuildInfoMetricName())->Set(1.0);
 }
 
 }  // namespace tetrisched

@@ -149,6 +149,18 @@ class MetricsRegistry {
 // The process-wide registry all library instrumentation reports into.
 MetricsRegistry& GlobalMetrics();
 
+// Refreshes the process-level gauges every exporter includes:
+//   * tetrisched_process_uptime_seconds — wall seconds since process start,
+//   * tetrisched_build_info{version=...,compiler=...,sanitizers=...} — the
+//     Prometheus build-info idiom: a constant-1 gauge whose labels carry the
+//     build identity.
+// Call immediately before exporting (the simulator's export paths and the
+// daemon's `metrics` op both do).
+void UpdateProcessMetrics();
+
+// The labeled name of the build-info gauge (exposed for tests).
+const std::string& BuildInfoMetricName();
+
 }  // namespace tetrisched
 
 #endif  // TETRISCHED_COMMON_METRICS_H_

@@ -1,0 +1,194 @@
+#include "src/net/event_loop.h"
+
+#include <poll.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+
+#include "src/common/logging.h"
+
+namespace tetrisched {
+
+EventLoop::EventLoop() {
+  int fds[2] = {-1, -1};
+  if (::pipe(fds) == 0) {
+    wake_read_.Reset(fds[0]);
+    wake_write_.Reset(fds[1]);
+    SetNonBlocking(wake_read_.get());
+    SetNonBlocking(wake_write_.get());
+  } else {
+    TETRI_LOG(kWarning) << "pipe: " << std::strerror(errno);
+  }
+}
+
+EventLoop::~EventLoop() = default;
+
+void EventLoop::Add(int fd, std::function<void(uint32_t)> callback) {
+  handlers_[fd] = Handler{std::move(callback), false};
+}
+
+void EventLoop::Remove(int fd) { handlers_.erase(fd); }
+
+void EventLoop::SetWriteInterest(int fd, bool enabled) {
+  auto it = handlers_.find(fd);
+  if (it != handlers_.end()) {
+    it->second.want_write = enabled;
+  }
+}
+
+void EventLoop::DrainWakePipe() {
+  char buf[64];
+  while (::read(wake_read_.get(), buf, sizeof(buf)) > 0) {
+  }
+}
+
+void EventLoop::Wakeup() {
+  if (wake_write_.valid()) {
+    char byte = 1;
+    // Best effort: a full pipe already guarantees a pending wakeup.
+    [[maybe_unused]] ssize_t n = ::write(wake_write_.get(), &byte, 1);
+  }
+}
+
+int EventLoop::PollOnce(int timeout_ms) {
+  std::vector<pollfd> fds;
+  fds.reserve(handlers_.size() + 1);
+  if (wake_read_.valid()) {
+    fds.push_back(pollfd{wake_read_.get(), POLLIN, 0});
+  }
+  for (const auto& [fd, handler] : handlers_) {
+    short events = POLLIN;
+    if (handler.want_write) {
+      events |= POLLOUT;
+    }
+    fds.push_back(pollfd{fd, events, 0});
+  }
+  int rc = ::poll(fds.data(), fds.size(), timeout_ms);
+  if (rc < 0) {
+    if (errno != EINTR) {
+      TETRI_LOG(kWarning) << "poll: " << std::strerror(errno);
+    }
+    return 0;
+  }
+  int dispatched = 0;
+  for (const pollfd& p : fds) {
+    if (p.revents == 0) {
+      continue;
+    }
+    if (wake_read_.valid() && p.fd == wake_read_.get()) {
+      DrainWakePipe();
+      continue;
+    }
+    // The handler may have been removed by an earlier callback this pass.
+    auto it = handlers_.find(p.fd);
+    if (it == handlers_.end()) {
+      continue;
+    }
+    uint32_t mask = 0;
+    if (p.revents & POLLIN) {
+      mask |= kReadable;
+    }
+    if (p.revents & POLLOUT) {
+      mask |= kWritable;
+    }
+    if (p.revents & (POLLERR | POLLHUP | POLLNVAL)) {
+      mask |= kError;
+    }
+    // Copy: the callback may Remove(fd) and invalidate the iterator.
+    std::function<void(uint32_t)> callback = it->second.callback;
+    callback(mask);
+    ++dispatched;
+  }
+  return dispatched;
+}
+
+FramedConnection::FramedConnection(UniqueFd fd, size_t max_frame_bytes,
+                                   int64_t connection_id)
+    : fd_(std::move(fd)),
+      connection_id_(connection_id),
+      decoder_(max_frame_bytes) {
+  SetNonBlocking(fd_.get());
+  Touch();
+}
+
+bool FramedConnection::ReadInto(std::vector<std::string>* frames) {
+  if (closed_) {
+    return false;
+  }
+  char buf[16384];
+  bool peer_open = true;
+  for (;;) {
+    ssize_t n = ::read(fd_.get(), buf, sizeof(buf));
+    if (n > 0) {
+      Touch();
+      decoder_.Feed(std::string_view(buf, static_cast<size_t>(n)));
+      if (static_cast<size_t>(n) < sizeof(buf)) {
+        break;  // drained what was there
+      }
+      continue;
+    }
+    if (n == 0) {
+      peer_open = false;  // orderly shutdown
+      break;
+    }
+    if (errno == EAGAIN || errno == EWOULDBLOCK) {
+      break;
+    }
+    if (errno == EINTR) {
+      continue;
+    }
+    peer_open = false;
+    break;
+  }
+  std::string payload;
+  while (decoder_.Next(&payload) == FrameDecoder::Result::kFrame) {
+    frames->push_back(std::move(payload));
+    payload.clear();
+  }
+  if (!peer_open) {
+    closed_ = true;
+  }
+  return peer_open;
+}
+
+bool FramedConnection::SendFrame(std::string_view payload) {
+  if (closed_) {
+    return false;
+  }
+  write_buffer_.append(EncodeNetFrame(payload));
+  return FlushWrites();
+}
+
+bool FramedConnection::FlushWrites() {
+  if (closed_) {
+    return false;
+  }
+  while (write_pos_ < write_buffer_.size()) {
+    ssize_t n = ::write(fd_.get(), write_buffer_.data() + write_pos_,
+                        write_buffer_.size() - write_pos_);
+    if (n > 0) {
+      Touch();
+      write_pos_ += static_cast<size_t>(n);
+      continue;
+    }
+    if (n < 0 && (errno == EAGAIN || errno == EWOULDBLOCK)) {
+      break;  // kernel buffer full; caller arms write interest
+    }
+    if (n < 0 && errno == EINTR) {
+      continue;
+    }
+    closed_ = true;
+    return false;
+  }
+  if (write_pos_ == write_buffer_.size()) {
+    write_buffer_.clear();
+    write_pos_ = 0;
+  } else if (write_pos_ > (1u << 16)) {
+    write_buffer_.erase(0, write_pos_);
+    write_pos_ = 0;
+  }
+  return true;
+}
+
+}  // namespace tetrisched

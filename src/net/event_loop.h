@@ -1,0 +1,118 @@
+// A small poll(2)-based event loop plus the per-connection buffering the
+// service layer runs on (DESIGN.md §16).
+//
+// EventLoop multiplexes readable/writable interest over registered fds and
+// dispatches to std::function callbacks. It is single-threaded by design:
+// the daemon thread alone touches the loop; other threads may only call
+// Wakeup() (a self-pipe write, async-signal-safe) to interrupt a blocking
+// poll — the same mechanism the SIGTERM handler uses.
+//
+// FramedConnection owns one stream fd and speaks the frame codec: reads
+// accumulate into a FrameDecoder, writes queue into an outbound buffer
+// flushed opportunistically (first synchronously, then via writable
+// interest when the kernel buffer fills). An idle deadline marks
+// connections whose peer has gone quiet for eviction.
+
+#ifndef TETRISCHED_NET_EVENT_LOOP_H_
+#define TETRISCHED_NET_EVENT_LOOP_H_
+
+#include <chrono>
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "src/net/frame.h"
+#include "src/net/socket.h"
+
+namespace tetrisched {
+
+class EventLoop {
+ public:
+  // Bitmask passed to callbacks.
+  static constexpr uint32_t kReadable = 1;
+  static constexpr uint32_t kWritable = 2;
+  static constexpr uint32_t kError = 4;  // POLLERR / POLLHUP / POLLNVAL
+
+  EventLoop();
+  ~EventLoop();
+  EventLoop(const EventLoop&) = delete;
+  EventLoop& operator=(const EventLoop&) = delete;
+
+  // Registers `fd` with read interest. The callback runs from PollOnce with
+  // the ready-event mask. Re-registering an fd replaces its callback.
+  void Add(int fd, std::function<void(uint32_t)> callback);
+  void Remove(int fd);
+  // Toggles write interest (read interest is always on).
+  void SetWriteInterest(int fd, bool enabled);
+  bool Watching(int fd) const { return handlers_.count(fd) > 0; }
+
+  // One poll + dispatch pass. timeout_ms < 0 blocks indefinitely, 0 polls.
+  // Returns the number of fds dispatched (0 on timeout). Safe against
+  // handlers that Add/Remove fds (including their own).
+  int PollOnce(int timeout_ms);
+
+  // Interrupts a blocking PollOnce from any thread or a signal handler
+  // (one write(2) on the self-pipe; overflow is harmless).
+  void Wakeup();
+  // The self-pipe write end, for installing into a signal handler.
+  int wakeup_fd() const { return wake_write_.get(); }
+
+ private:
+  struct Handler {
+    std::function<void(uint32_t)> callback;
+    bool want_write = false;
+  };
+
+  void DrainWakePipe();
+
+  std::map<int, Handler> handlers_;
+  UniqueFd wake_read_;
+  UniqueFd wake_write_;
+};
+
+// One framed stream peer. Owns the fd; nonblocking.
+class FramedConnection {
+ public:
+  FramedConnection(UniqueFd fd, size_t max_frame_bytes,
+                   int64_t connection_id);
+
+  int fd() const { return fd_.get(); }
+  int64_t id() const { return connection_id_; }
+  bool closed() const { return closed_; }
+  FrameDecoder& decoder() { return decoder_; }
+
+  // Reads whatever the kernel has; decoded payloads are appended to
+  // *frames. Returns false when the peer closed or errored (connection
+  // should be dropped after processing the frames).
+  bool ReadInto(std::vector<std::string>* frames);
+
+  // Queues one framed payload and flushes as much as the kernel accepts.
+  // Returns true while the connection is healthy.
+  bool SendFrame(std::string_view payload);
+
+  // Flushes queued bytes; call on writable readiness.
+  bool FlushWrites();
+  bool wants_write() const { return write_pos_ < write_buffer_.size(); }
+
+  // Idle-timeout support: last activity (read or write) stamp.
+  std::chrono::steady_clock::time_point last_activity() const {
+    return last_activity_;
+  }
+
+ private:
+  void Touch() { last_activity_ = std::chrono::steady_clock::now(); }
+
+  UniqueFd fd_;
+  int64_t connection_id_;
+  FrameDecoder decoder_;
+  std::string write_buffer_;
+  size_t write_pos_ = 0;
+  bool closed_ = false;
+  std::chrono::steady_clock::time_point last_activity_;
+};
+
+}  // namespace tetrisched
+
+#endif  // TETRISCHED_NET_EVENT_LOOP_H_

@@ -1,0 +1,120 @@
+#include "src/net/frame.h"
+
+#include <cstring>
+
+namespace tetrisched {
+
+namespace {
+
+uint32_t ReadU32Le(const char* p) {
+  uint32_t v = 0;
+  for (int i = 0; i < 4; ++i) {
+    v |= static_cast<uint32_t>(static_cast<uint8_t>(p[i])) << (8 * i);
+  }
+  return v;
+}
+
+}  // namespace
+
+std::string EncodeNetFrame(std::string_view payload) {
+  std::string out;
+  out.reserve(kFrameHeaderBytes + payload.size());
+  out.append(kFrameMagic, sizeof(kFrameMagic));
+  uint32_t len = static_cast<uint32_t>(payload.size());
+  for (int i = 0; i < 4; ++i) {
+    out.push_back(static_cast<char>((len >> (8 * i)) & 0xff));
+  }
+  out.append(payload.data(), payload.size());
+  return out;
+}
+
+FrameDecoder::FrameDecoder(size_t max_frame_bytes)
+    : max_frame_bytes_(max_frame_bytes) {}
+
+void FrameDecoder::Feed(std::string_view bytes) {
+  buffer_.append(bytes.data(), bytes.size());
+}
+
+void FrameDecoder::Skip(size_t n) {
+  consumed_ += n;
+  bytes_skipped_ += static_cast<int64_t>(n);
+}
+
+void FrameDecoder::Compact() {
+  if (consumed_ > 0 && (consumed_ >= buffer_.size() || consumed_ > 4096)) {
+    buffer_.erase(0, consumed_);
+    consumed_ = 0;
+  }
+}
+
+bool FrameDecoder::ResyncToMagic() {
+  std::string_view rest =
+      std::string_view(buffer_).substr(consumed_);
+  const std::string_view magic(kFrameMagic, sizeof(kFrameMagic));
+  size_t pos = rest.find(magic);
+  if (pos != std::string_view::npos) {
+    Skip(pos);
+    skipping_ = false;
+    return true;
+  }
+  // No full magic: keep only the longest buffer suffix that is a proper
+  // magic prefix (a magic may be split across Feed boundaries).
+  size_t keep = 0;
+  for (size_t len = std::min(rest.size(), magic.size() - 1); len > 0; --len) {
+    if (rest.substr(rest.size() - len) == magic.substr(0, len)) {
+      keep = len;
+      break;
+    }
+  }
+  Skip(rest.size() - keep);
+  Compact();
+  return false;
+}
+
+FrameDecoder::Result FrameDecoder::Next(std::string* payload) {
+  for (;;) {
+    if (skipping_ && !ResyncToMagic()) {
+      return Result::kNeedMore;
+    }
+    std::string_view rest = std::string_view(buffer_).substr(consumed_);
+    if (rest.size() < kFrameHeaderBytes) {
+      // Not enough for a header. If what we have cannot be a magic prefix,
+      // enter resync so the partial junk is discarded rather than blocking.
+      if (rest.size() >= sizeof(kFrameMagic) &&
+          std::memcmp(rest.data(), kFrameMagic, sizeof(kFrameMagic)) != 0) {
+        skipping_ = true;
+        ++resyncs_;
+        continue;
+      }
+      Compact();
+      return Result::kNeedMore;
+    }
+    if (std::memcmp(rest.data(), kFrameMagic, sizeof(kFrameMagic)) != 0) {
+      skipping_ = true;
+      ++resyncs_;
+      continue;
+    }
+    uint32_t len = ReadU32Le(rest.data() + sizeof(kFrameMagic));
+    if (static_cast<size_t>(len) > max_frame_bytes_) {
+      // DoS guard: reject from the header alone — never allocate `len`.
+      ++oversized_rejected_;
+      ++resyncs_;
+      // Skip just the magic so a magic embedded in what we mis-read as a
+      // length can still be found.
+      Skip(sizeof(kFrameMagic));
+      skipping_ = true;
+      continue;
+    }
+    if (rest.size() < kFrameHeaderBytes + len) {
+      Compact();
+      return Result::kNeedMore;  // complete header, incomplete payload
+    }
+    payload->assign(rest.data() + kFrameHeaderBytes, len);
+    consumed_ += kFrameHeaderBytes + len;
+    ++frames_decoded_;
+    Compact();
+    return Result::kFrame;
+  }
+}
+
+}  // namespace tetrisched

@@ -1,0 +1,97 @@
+// Length-prefixed framing for the tetrischedd wire protocol (DESIGN.md §16).
+//
+// A frame is:
+//
+//   frame := [4-byte magic "TSF1"][u32 payload_len][payload bytes]
+//
+// (integers little-endian). Payloads are opaque to this layer; the service
+// puts one RFC-8259 JSON document (src/common/json.h) in each.
+//
+// The decoder is incremental and hostile-input safe:
+//   * a hard payload-size cap is enforced *from the header alone* — an
+//     oversized length prefix is rejected without ever allocating or
+//     reserving the claimed size (the classic length-prefix DoS),
+//   * a bad magic, or a frame rejected for size, switches the decoder into
+//     resync mode: it scans forward for the next magic occurrence, so one
+//     corrupt frame (bit-flipped prefix, truncated tail from a crashed
+//     peer, garbage injected mid-stream) costs the frames it overlaps, not
+//     the connection,
+//   * buffered-but-unparsed bytes are bounded by cap + header size, so a
+//     peer that never completes a frame cannot grow the buffer without
+//     bound.
+//
+// Decoder statistics (frames, resyncs, oversized rejects, skipped bytes)
+// feed the tetrisched_net_* instruments and the fuzz tests.
+
+#ifndef TETRISCHED_NET_FRAME_H_
+#define TETRISCHED_NET_FRAME_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+namespace tetrisched {
+
+// 4-byte frame magic, chosen to be unlikely in JSON payload text.
+inline constexpr char kFrameMagic[4] = {'T', 'S', 'F', '1'};
+inline constexpr size_t kFrameHeaderBytes = 8;  // magic + u32 length
+
+// Default hard cap on one frame's payload. Large enough for any metrics or
+// explain response, small enough that a hostile length prefix cannot cause
+// a meaningful allocation.
+inline constexpr size_t kDefaultMaxFrameBytes = 1 << 20;  // 1 MiB
+
+// Wraps `payload` in a frame. The caller is responsible for keeping
+// payloads under the receiver's cap.
+std::string EncodeNetFrame(std::string_view payload);
+
+class FrameDecoder {
+ public:
+  explicit FrameDecoder(size_t max_frame_bytes = kDefaultMaxFrameBytes);
+
+  // Appends raw stream bytes to the internal buffer.
+  void Feed(std::string_view bytes);
+
+  enum class Result {
+    kFrame,     // *payload holds one complete payload
+    kNeedMore,  // no complete frame buffered; Feed more bytes
+  };
+
+  // Extracts the next complete frame, skipping garbage/oversized/corrupt
+  // regions (counted in the stats below). Call until kNeedMore.
+  Result Next(std::string* payload);
+
+  size_t max_frame_bytes() const { return max_frame_bytes_; }
+  // Bytes buffered but not yet consumed (bounded by cap + header).
+  size_t buffered_bytes() const { return buffer_.size() - consumed_; }
+
+  // --- statistics -----------------------------------------------------------
+  int64_t frames_decoded() const { return frames_decoded_; }
+  int64_t oversized_rejected() const { return oversized_rejected_; }
+  int64_t resyncs() const { return resyncs_; }
+  int64_t bytes_skipped() const { return bytes_skipped_; }
+
+ private:
+  // Drops `n` bytes from the front of the logical buffer.
+  void Skip(size_t n);
+  // Compacts the buffer when the consumed prefix dominates.
+  void Compact();
+  // Scans for the next magic at-or-after the current position; consumes
+  // everything before it (keeping a partial-magic tail). Returns true when
+  // a full magic is aligned at the front.
+  bool ResyncToMagic();
+
+  size_t max_frame_bytes_;
+  std::string buffer_;
+  size_t consumed_ = 0;   // bytes of buffer_ already processed
+  bool skipping_ = false; // true while hunting for the next magic
+
+  int64_t frames_decoded_ = 0;
+  int64_t oversized_rejected_ = 0;
+  int64_t resyncs_ = 0;
+  int64_t bytes_skipped_ = 0;
+};
+
+}  // namespace tetrisched
+
+#endif  // TETRISCHED_NET_FRAME_H_

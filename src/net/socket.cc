@@ -1,0 +1,158 @@
+#include "src/net/socket.h"
+
+#include <arpa/inet.h>
+#include <fcntl.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+
+#include "src/common/logging.h"
+
+namespace tetrisched {
+
+void UniqueFd::Reset(int fd) {
+  if (fd_ >= 0) {
+    ::close(fd_);
+  }
+  fd_ = fd;
+}
+
+bool SetNonBlocking(int fd) {
+  int flags = ::fcntl(fd, F_GETFL, 0);
+  if (flags < 0 || ::fcntl(fd, F_SETFL, flags | O_NONBLOCK) < 0) {
+    return false;
+  }
+  int fdflags = ::fcntl(fd, F_GETFD, 0);
+  if (fdflags >= 0) {
+    ::fcntl(fd, F_SETFD, fdflags | FD_CLOEXEC);
+  }
+  return true;
+}
+
+UniqueFd ListenTcpLoopback(int port, int* bound_port) {
+  UniqueFd fd(::socket(AF_INET, SOCK_STREAM, 0));
+  if (!fd.valid()) {
+    TETRI_LOG(kWarning) << "socket(AF_INET): " << std::strerror(errno);
+    return {};
+  }
+  int one = 1;
+  ::setsockopt(fd.get(), SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  addr.sin_port = htons(static_cast<uint16_t>(port));
+  if (::bind(fd.get(), reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) <
+      0) {
+    TETRI_LOG(kWarning) << "bind(127.0.0.1:" << port
+                        << "): " << std::strerror(errno);
+    return {};
+  }
+  if (::listen(fd.get(), 64) < 0) {
+    TETRI_LOG(kWarning) << "listen: " << std::strerror(errno);
+    return {};
+  }
+  if (bound_port != nullptr) {
+    sockaddr_in actual{};
+    socklen_t len = sizeof(actual);
+    if (::getsockname(fd.get(), reinterpret_cast<sockaddr*>(&actual), &len) ==
+        0) {
+      *bound_port = ntohs(actual.sin_port);
+    }
+  }
+  SetNonBlocking(fd.get());
+  return fd;
+}
+
+UniqueFd ListenUnix(const std::string& path) {
+  sockaddr_un addr{};
+  if (path.size() >= sizeof(addr.sun_path)) {
+    TETRI_LOG(kWarning) << "unix socket path too long: " << path;
+    return {};
+  }
+  UniqueFd fd(::socket(AF_UNIX, SOCK_STREAM, 0));
+  if (!fd.valid()) {
+    TETRI_LOG(kWarning) << "socket(AF_UNIX): " << std::strerror(errno);
+    return {};
+  }
+  ::unlink(path.c_str());
+  addr.sun_family = AF_UNIX;
+  std::strncpy(addr.sun_path, path.c_str(), sizeof(addr.sun_path) - 1);
+  if (::bind(fd.get(), reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) <
+      0) {
+    TETRI_LOG(kWarning) << "bind(" << path << "): " << std::strerror(errno);
+    return {};
+  }
+  if (::listen(fd.get(), 64) < 0) {
+    TETRI_LOG(kWarning) << "listen(" << path << "): " << std::strerror(errno);
+    return {};
+  }
+  SetNonBlocking(fd.get());
+  return fd;
+}
+
+UniqueFd ConnectTcpLoopback(int port) {
+  UniqueFd fd(::socket(AF_INET, SOCK_STREAM, 0));
+  if (!fd.valid()) {
+    return {};
+  }
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  addr.sin_port = htons(static_cast<uint16_t>(port));
+  if (::connect(fd.get(), reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) <
+      0) {
+    TETRI_LOG(kWarning) << "connect(127.0.0.1:" << port
+                        << "): " << std::strerror(errno);
+    return {};
+  }
+  int one = 1;
+  ::setsockopt(fd.get(), IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+  return fd;
+}
+
+UniqueFd ConnectUnix(const std::string& path) {
+  sockaddr_un addr{};
+  if (path.size() >= sizeof(addr.sun_path)) {
+    return {};
+  }
+  UniqueFd fd(::socket(AF_UNIX, SOCK_STREAM, 0));
+  if (!fd.valid()) {
+    return {};
+  }
+  addr.sun_family = AF_UNIX;
+  std::strncpy(addr.sun_path, path.c_str(), sizeof(addr.sun_path) - 1);
+  if (::connect(fd.get(), reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) <
+      0) {
+    TETRI_LOG(kWarning) << "connect(" << path
+                        << "): " << std::strerror(errno);
+    return {};
+  }
+  return fd;
+}
+
+std::pair<UniqueFd, UniqueFd> MakeSocketPair() {
+  int fds[2] = {-1, -1};
+  if (::socketpair(AF_UNIX, SOCK_STREAM, 0, fds) < 0) {
+    TETRI_LOG(kWarning) << "socketpair: " << std::strerror(errno);
+    return {};
+  }
+  return {UniqueFd(fds[0]), UniqueFd(fds[1])};
+}
+
+UniqueFd AcceptOne(int listen_fd) {
+  int fd = ::accept(listen_fd, nullptr, nullptr);
+  if (fd < 0) {
+    if (errno != EAGAIN && errno != EWOULDBLOCK) {
+      TETRI_LOG(kWarning) << "accept: " << std::strerror(errno);
+    }
+    return {};
+  }
+  return UniqueFd(fd);
+}
+
+}  // namespace tetrisched

@@ -1,0 +1,71 @@
+// Thin POSIX socket helpers for the service layer: RAII fd ownership,
+// non-blocking setup, and the three transports tetrischedd speaks —
+// loopback TCP, Unix domain sockets, and pre-connected socketpairs (the
+// deterministic in-process test transport).
+//
+// All functions return -1 / empty UniqueFd on failure and log a warning;
+// callers treat that as "this endpoint is unavailable", never as fatal.
+
+#ifndef TETRISCHED_NET_SOCKET_H_
+#define TETRISCHED_NET_SOCKET_H_
+
+#include <string>
+#include <utility>
+
+namespace tetrisched {
+
+// Owns one file descriptor; closes it on destruction.
+class UniqueFd {
+ public:
+  UniqueFd() = default;
+  explicit UniqueFd(int fd) : fd_(fd) {}
+  ~UniqueFd() { Reset(); }
+
+  UniqueFd(const UniqueFd&) = delete;
+  UniqueFd& operator=(const UniqueFd&) = delete;
+  UniqueFd(UniqueFd&& other) noexcept : fd_(other.Release()) {}
+  UniqueFd& operator=(UniqueFd&& other) noexcept {
+    if (this != &other) {
+      Reset(other.Release());
+    }
+    return *this;
+  }
+
+  int get() const { return fd_; }
+  bool valid() const { return fd_ >= 0; }
+  int Release() {
+    int fd = fd_;
+    fd_ = -1;
+    return fd;
+  }
+  void Reset(int fd = -1);
+
+ private:
+  int fd_ = -1;
+};
+
+// Marks `fd` non-blocking (and close-on-exec). Returns false on failure.
+bool SetNonBlocking(int fd);
+
+// Listening socket on 127.0.0.1:`port` (port 0 = kernel-assigned). On
+// success *bound_port receives the actual port. SO_REUSEADDR is set.
+UniqueFd ListenTcpLoopback(int port, int* bound_port);
+
+// Listening Unix domain socket at `path` (an existing socket file at the
+// path is unlinked first — the daemon owns its socket path).
+UniqueFd ListenUnix(const std::string& path);
+
+// Blocking connects (the client library is deliberately synchronous).
+UniqueFd ConnectTcpLoopback(int port);
+UniqueFd ConnectUnix(const std::string& path);
+
+// AF_UNIX stream socketpair; first is conventionally the daemon end.
+std::pair<UniqueFd, UniqueFd> MakeSocketPair();
+
+// Accepts one pending connection from a listening socket; invalid UniqueFd
+// when none is pending (EAGAIN) or on error.
+UniqueFd AcceptOne(int listen_fd);
+
+}  // namespace tetrisched
+
+#endif  // TETRISCHED_NET_SOCKET_H_

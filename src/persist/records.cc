@@ -8,7 +8,10 @@ namespace tetrisched {
 namespace {
 
 constexpr uint8_t kEventVersion = 1;
-constexpr uint8_t kSnapshotVersion = 1;
+// v2 appends RecoveredState::service_jobs; v1 snapshots (no service layer)
+// still decode, with an empty service-jobs table.
+constexpr uint8_t kSnapshotVersion = 2;
+constexpr uint8_t kMinSnapshotVersion = 1;
 
 void PutCounts(ByteWriter& writer, const std::map<PartitionId, int>& counts) {
   writer.PutU32(static_cast<uint32_t>(counts.size()));
@@ -164,6 +167,8 @@ const char* ToString(DurableEventKind kind) {
       return "plan_ahead_adapt";
     case DurableEventKind::kEpochBump:
       return "epoch_bump";
+    case DurableEventKind::kServiceSubmit:
+      return "service_submit";
   }
   return "unknown";
 }
@@ -266,6 +271,7 @@ void ApplyEvent(RecoveredState& state, const DurableEvent& event) {
     case DurableEventKind::kGangComplete:
       state.running.erase(event.job);
       state.finished.insert(event.job);
+      state.service_jobs.erase(event.job);
       state.completions.push_back(
           CompletionRecord{event.job, event.preferred, event.runtime});
       break;
@@ -280,6 +286,10 @@ void ApplyEvent(RecoveredState& state, const DurableEvent& event) {
     case DurableEventKind::kJobDropped:
       state.running.erase(event.job);
       state.finished.insert(event.job);
+      state.service_jobs.erase(event.job);
+      break;
+    case DurableEventKind::kServiceSubmit:
+      state.service_jobs[event.job] = event.blob;
       break;
     case DurableEventKind::kPlanAheadAdapt:
       // Informational only: the adapted AIMD state is recovered from the
@@ -353,13 +363,19 @@ std::string EncodeSnapshot(const RecoveredState& state) {
     writer.PutI64(node);
     writer.PutI64(static_cast<int64_t>(epoch));
   }
+  writer.PutU32(static_cast<uint32_t>(state.service_jobs.size()));
+  for (const auto& [job, spec] : state.service_jobs) {
+    writer.PutI64(job);
+    writer.PutString(spec);
+  }
   return writer.Take();
 }
 
 bool DecodeSnapshot(std::string_view bytes, RecoveredState* state) {
   *state = RecoveredState{};
   ByteReader reader(bytes);
-  if (reader.GetU8() != kSnapshotVersion) {
+  uint8_t version = reader.GetU8();
+  if (version < kMinSnapshotVersion || version > kSnapshotVersion) {
     return false;
   }
   state->checkpoint_time = reader.GetI64();
@@ -433,6 +449,13 @@ bool DecodeSnapshot(std::string_view bytes, RecoveredState* state) {
     NodeId node = static_cast<NodeId>(reader.GetI64());
     uint64_t epoch = static_cast<uint64_t>(reader.GetI64());
     state->epochs[node] = epoch;
+  }
+  if (version >= 2) {
+    uint32_t num_service = reader.GetU32();
+    for (uint32_t i = 0; i < num_service && reader.ok(); ++i) {
+      JobId job = reader.GetI64();
+      state->service_jobs[job] = reader.GetString();
+    }
   }
   return reader.ok() && reader.AtEnd();
 }

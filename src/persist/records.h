@@ -64,6 +64,12 @@ enum class DurableEventKind : uint8_t {
   // epoch older than one a node agent may already have adopted — i.e. a
   // crash never resurrects a fenced placement.
   kEpochBump = 13,
+  // Service-layer job acceptance (DESIGN.md §16): tetrischedd admitted a
+  // client submission into its pending set. `blob` carries the canonical
+  // JSON job spec (service/jobspec.h) so a restarted daemon can rebuild the
+  // Job; erased from RecoveredState::service_jobs when the job finishes or
+  // is dropped, so replay leaves exactly the accepted-but-unfinished set.
+  kServiceSubmit = 14,
 };
 
 const char* ToString(DurableEventKind kind);
@@ -176,6 +182,10 @@ struct RecoveredState {
   // Replay max-merges kEpochBump records so the table is monotonic even
   // across snapshot/journal boundaries.
   std::map<NodeId, uint64_t> epochs;
+  // Accepted-but-unfinished service submissions (DESIGN.md §16): job id ->
+  // canonical JSON job spec. A restarted tetrischedd resumes every job
+  // here that is neither `running` (adopted as a live gang) nor `finished`.
+  std::map<JobId, std::string> service_jobs;
 
   bool operator==(const RecoveredState& other) const = default;
 };

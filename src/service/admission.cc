@@ -1,0 +1,94 @@
+#include "src/service/admission.h"
+
+#include <algorithm>
+
+namespace tetrisched {
+
+AdmissionQueue::AdmissionQueue(AdmissionOptions options)
+    : options_(options) {
+  options_.max_queued = std::max(1, options_.max_queued);
+  options_.admit_per_cycle = std::max(1, options_.admit_per_cycle);
+  options_.cycle_period_ms = std::max<int64_t>(1, options_.cycle_period_ms);
+}
+
+int64_t AdmissionQueue::per_client_bound() const {
+  // Count the offering client as active even before its first acceptance:
+  // with one active client the bound is the whole queue, with n clients an
+  // equal share (floored at 1 so a crowded queue still admits newcomers).
+  int clients = std::max(1, active_clients());
+  return std::max<int64_t>(1, options_.max_queued / clients);
+}
+
+int64_t AdmissionQueue::depth_of(const std::string& client) const {
+  auto it = queues_.find(client);
+  return it == queues_.end() ? 0
+                             : static_cast<int64_t>(it->second.size());
+}
+
+AdmissionVerdict AdmissionQueue::Offer(QueuedSubmission submission) {
+  AdmissionVerdict verdict;
+  if (total_queued_ >= options_.max_queued) {
+    verdict.reason = "intake queue full (" +
+                     std::to_string(total_queued_) + "/" +
+                     std::to_string(options_.max_queued) + ")";
+    // Hint: the backlog drains admit_per_cycle per cycle.
+    int64_t cycles_to_space =
+        (total_queued_ + options_.admit_per_cycle) / options_.admit_per_cycle;
+    verdict.retry_after_ms = cycles_to_space * options_.cycle_period_ms;
+    return verdict;
+  }
+  int64_t depth = depth_of(submission.client);
+  if (depth >= per_client_bound()) {
+    verdict.reason = "client over fair-share bound (" +
+                     std::to_string(depth) + "/" +
+                     std::to_string(per_client_bound()) + " queued)";
+    int64_t cycles_to_space =
+        (depth + options_.admit_per_cycle) / options_.admit_per_cycle;
+    verdict.retry_after_ms = cycles_to_space * options_.cycle_period_ms;
+    return verdict;
+  }
+  queues_[submission.client].push_back(std::move(submission));
+  ++total_queued_;
+  verdict.admitted = true;
+  return verdict;
+}
+
+std::vector<QueuedSubmission> AdmissionQueue::DrainRoundRobin(int n) {
+  std::vector<QueuedSubmission> out;
+  while (n > 0 && total_queued_ > 0) {
+    auto it = queues_.lower_bound(next_client_);
+    if (it == queues_.end()) {
+      it = queues_.begin();
+    }
+    out.push_back(std::move(it->second.front()));
+    it->second.pop_front();
+    --total_queued_;
+    --n;
+    // Advance the cursor past this client (wrap via lower_bound above).
+    std::string drained = it->first;
+    if (it->second.empty()) {
+      queues_.erase(it);
+    }
+    next_client_ = drained + '\0';  // smallest key strictly after `drained`
+  }
+  return out;
+}
+
+bool AdmissionQueue::CancelJob(JobId job) {
+  for (auto it = queues_.begin(); it != queues_.end(); ++it) {
+    auto& queue = it->second;
+    for (auto entry = queue.begin(); entry != queue.end(); ++entry) {
+      if (entry->job.id == job) {
+        queue.erase(entry);
+        --total_queued_;
+        if (queue.empty()) {
+          queues_.erase(it);
+        }
+        return true;
+      }
+    }
+  }
+  return false;
+}
+
+}  // namespace tetrisched

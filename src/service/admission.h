@@ -1,0 +1,91 @@
+// Intake admission control for tetrischedd (DESIGN.md §16).
+//
+// DRESS (arXiv:1805.08359) motivates the shape: a reservation-based
+// scheduler under congestion must bound its intake and shed load
+// *explicitly* — an unbounded queue converts overload into unbounded
+// decision latency for everyone. The daemon therefore keeps accepted
+// submissions in a bounded queue in front of the scheduler's pending set:
+//
+//   * a global bound caps total queued submissions,
+//   * a per-client bound (global bound / active clients, floored at 1)
+//     keeps one flooding client from occupying the whole queue — other
+//     clients' submissions still land and still drain,
+//   * rejections are explicit `overloaded` responses carrying a
+//     retry-after hint derived from the cycle period and the rejected
+//     client's backlog, and
+//   * the drain order is round-robin across clients, so service is fair
+//     even when arrival order is not.
+//
+// The queue is not thread-safe: it lives on the daemon's event-loop thread.
+
+#ifndef TETRISCHED_SERVICE_ADMISSION_H_
+#define TETRISCHED_SERVICE_ADMISSION_H_
+
+#include <cstdint>
+#include <deque>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "src/core/job.h"
+
+namespace tetrisched {
+
+struct AdmissionOptions {
+  // Global bound on queued submissions awaiting scheduler admission.
+  int max_queued = 256;
+  // Submissions moved from the queue into the scheduler's pending set per
+  // cycle. Bounds per-cycle STRL growth under bursts.
+  int admit_per_cycle = 64;
+  // Retry-after hint baseline: one cycle period, scaled by the client's
+  // backlog share.
+  int64_t cycle_period_ms = 100;
+};
+
+struct QueuedSubmission {
+  Job job;
+  std::string client;
+  int64_t connection_id = -1;  // provenance only (responses already sent)
+};
+
+struct AdmissionVerdict {
+  bool admitted = false;
+  int64_t retry_after_ms = 0;  // meaningful when !admitted
+  std::string reason;          // human detail when !admitted
+};
+
+class AdmissionQueue {
+ public:
+  explicit AdmissionQueue(AdmissionOptions options);
+
+  // Offers one submission for `client`. On rejection nothing is retained.
+  AdmissionVerdict Offer(QueuedSubmission submission);
+
+  // Removes up to `n` submissions in round-robin client order.
+  std::vector<QueuedSubmission> DrainRoundRobin(int n);
+
+  // Removes a queued submission by job id (cancel before admission).
+  bool CancelJob(JobId job);
+
+  int64_t size() const { return total_queued_; }
+  int active_clients() const { return static_cast<int>(queues_.size()); }
+  int64_t depth_of(const std::string& client) const;
+  // Current per-client bound (recomputed from active clients).
+  int64_t per_client_bound() const;
+
+  const AdmissionOptions& options() const { return options_; }
+
+ private:
+  AdmissionOptions options_;
+  // Client -> FIFO of queued submissions. Emptied entries are erased so
+  // active_clients() tracks clients with work, not clients ever seen.
+  std::map<std::string, std::deque<QueuedSubmission>> queues_;
+  // Round-robin cursor: the client to drain next (lower_bound semantics so
+  // erased clients do not wedge the cursor).
+  std::string next_client_;
+  int64_t total_queued_ = 0;
+};
+
+}  // namespace tetrisched
+
+#endif  // TETRISCHED_SERVICE_ADMISSION_H_

@@ -1,0 +1,68 @@
+#include "src/service/protocol.h"
+
+namespace tetrisched {
+
+bool ParseServiceRequest(std::string_view payload, ServiceRequest* request,
+                         std::string* error_response) {
+  JsonValue doc;
+  std::string parse_error;
+  if (!JsonParse(payload, &doc, &parse_error)) {
+    *error_response =
+        ErrorResponse(-1, kErrBadRequest, "invalid JSON: " + parse_error);
+    return false;
+  }
+  if (!doc.is_object()) {
+    *error_response =
+        ErrorResponse(-1, kErrBadRequest, "request must be a JSON object");
+    return false;
+  }
+  request->req_id = doc.IntOr("id", -1);
+  request->version = doc.IntOr("v", 0);
+  if (request->version != kProtocolVersion) {
+    *error_response = ErrorResponse(
+        request->req_id, kErrBadVersion,
+        "unsupported protocol version " + std::to_string(request->version) +
+            " (daemon speaks v" + std::to_string(kProtocolVersion) + ")");
+    return false;
+  }
+  request->op = doc.StringOr("op", "");
+  if (request->op.empty()) {
+    *error_response =
+        ErrorResponse(request->req_id, kErrBadRequest, "missing op");
+    return false;
+  }
+  request->client = doc.StringOr("client", "");
+  request->body = std::move(doc);
+  return true;
+}
+
+std::string OkResponse(int64_t req_id, const JsonObj& extra) {
+  JsonObj obj;
+  obj.Field("v", kProtocolVersion);
+  obj.Field("id", req_id);
+  obj.Field("ok", true);
+  std::string out = obj.str();
+  std::string extra_str = extra.str();
+  if (extra_str.size() > 2) {  // non-empty object: splice its members
+    out.pop_back();
+    out += ",";
+    out += extra_str.substr(1);
+  }
+  return out;
+}
+
+std::string ErrorResponse(int64_t req_id, std::string_view code,
+                          std::string_view message, int64_t retry_after_ms) {
+  JsonObj obj;
+  obj.Field("v", kProtocolVersion);
+  obj.Field("id", req_id);
+  obj.Field("ok", false);
+  obj.Field("error", code);
+  obj.Field("message", message);
+  if (retry_after_ms >= 0) {
+    obj.Field("retry_after_ms", retry_after_ms);
+  }
+  return obj.str();
+}
+
+}  // namespace tetrisched

@@ -1,0 +1,63 @@
+// The versioned JSON request/response protocol tetrischedd speaks inside
+// net frames (DESIGN.md §16).
+//
+// Request:  {"v": 1, "op": "submit", "id": 7, "client": "loadgen-a", ...}
+// Response: {"v": 1, "id": 7, "ok": true, ...}
+//         | {"v": 1, "id": 7, "ok": false, "error": "overloaded",
+//            "message": "...", "retry_after_ms": 40}
+//
+// `id` is a client-chosen correlation id echoed verbatim (the blocking
+// client uses a per-connection counter). `client` names the fairness
+// bucket for admission control; it defaults to a per-connection identity
+// so anonymous clients are isolated per connection rather than pooled.
+//
+// Ops: submit, status, cancel, explain, metrics, drain, shutdown. Error
+// codes are stable protocol strings (kErr* below), not prose; human detail
+// rides in "message".
+
+#ifndef TETRISCHED_SERVICE_PROTOCOL_H_
+#define TETRISCHED_SERVICE_PROTOCOL_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+#include "src/common/json.h"
+
+namespace tetrisched {
+
+inline constexpr int64_t kProtocolVersion = 1;
+
+// Stable error codes.
+inline constexpr const char* kErrBadRequest = "bad_request";
+inline constexpr const char* kErrBadVersion = "bad_version";
+inline constexpr const char* kErrUnknownOp = "unknown_op";
+inline constexpr const char* kErrOverloaded = "overloaded";
+inline constexpr const char* kErrDraining = "draining";
+inline constexpr const char* kErrNotFound = "not_found";
+inline constexpr const char* kErrConflict = "conflict";
+inline constexpr const char* kErrInternal = "internal";
+
+struct ServiceRequest {
+  int64_t version = 0;
+  int64_t req_id = -1;
+  std::string op;
+  std::string client;  // fairness bucket; empty = per-connection default
+  JsonValue body;      // the whole request object (op-specific fields)
+};
+
+// Parses one frame payload. On failure returns false and fills *error with
+// a kErrBadRequest/kErrBadVersion response the caller can send as-is
+// (req_id is echoed when recoverable from the payload).
+bool ParseServiceRequest(std::string_view payload, ServiceRequest* request,
+                         std::string* error_response);
+
+// Response builders. `extra` fields are spliced into the response object.
+std::string OkResponse(int64_t req_id, const JsonObj& extra = JsonObj());
+std::string ErrorResponse(int64_t req_id, std::string_view code,
+                          std::string_view message,
+                          int64_t retry_after_ms = -1);
+
+}  // namespace tetrisched
+
+#endif  // TETRISCHED_SERVICE_PROTOCOL_H_

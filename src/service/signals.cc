@@ -1,0 +1,52 @@
+#include "src/service/signals.h"
+
+#include <csignal>
+#include <unistd.h>
+
+#include <atomic>
+
+namespace tetrisched {
+namespace {
+
+std::atomic<int> g_pipe_fd{-1};
+std::atomic<int> g_last_signal{0};
+
+void TerminationHandler(int signo) {
+  g_last_signal.store(signo, std::memory_order_relaxed);
+  // A second delivery should kill us for real: drop back to SIG_DFL now.
+  std::signal(signo, SIG_DFL);
+  int fd = g_pipe_fd.load(std::memory_order_relaxed);
+  if (fd >= 0) {
+    unsigned char byte = static_cast<unsigned char>(signo);
+    [[maybe_unused]] ssize_t n = ::write(fd, &byte, 1);
+  }
+}
+
+}  // namespace
+
+bool InstallTerminationSignalHandlers(int pipe_write_fd) {
+  g_pipe_fd.store(pipe_write_fd, std::memory_order_relaxed);
+  g_last_signal.store(0, std::memory_order_relaxed);
+  struct sigaction action {};
+  action.sa_handler = TerminationHandler;
+  sigemptyset(&action.sa_mask);
+  action.sa_flags = SA_RESTART;
+  return ::sigaction(SIGINT, &action, nullptr) == 0 &&
+         ::sigaction(SIGTERM, &action, nullptr) == 0;
+}
+
+void RestoreDefaultSignalHandlers() {
+  std::signal(SIGINT, SIG_DFL);
+  std::signal(SIGTERM, SIG_DFL);
+  g_pipe_fd.store(-1, std::memory_order_relaxed);
+}
+
+int LastTerminationSignal() {
+  return g_last_signal.load(std::memory_order_relaxed);
+}
+
+int ConsumeTerminationSignal() {
+  return g_last_signal.exchange(0, std::memory_order_relaxed);
+}
+
+}  // namespace tetrisched

@@ -1,0 +1,35 @@
+// Graceful SIGINT/SIGTERM handling via the classic self-pipe pattern
+// (DESIGN.md §16).
+//
+// The handler does the only async-signal-safe thing available: one write(2)
+// of the signal number onto a pipe the event loop polls. The daemon thread
+// observes the byte at its next poll, begins its shutdown sequence (stop
+// intake -> final checkpoint -> clean exit), and the *second* delivery of a
+// termination signal falls through to the default disposition so a wedged
+// daemon can still be killed.
+
+#ifndef TETRISCHED_SERVICE_SIGNALS_H_
+#define TETRISCHED_SERVICE_SIGNALS_H_
+
+namespace tetrisched {
+
+// Installs SIGINT + SIGTERM handlers that write the signal number (one
+// byte) to `pipe_write_fd`. Re-entrant deliveries restore the default
+// handler first, so a repeat signal terminates immediately. Returns false
+// if sigaction fails.
+bool InstallTerminationSignalHandlers(int pipe_write_fd);
+
+// Removes the handlers (restores SIG_DFL); used by tests that raise().
+void RestoreDefaultSignalHandlers();
+
+// Last signal observed by the handler (0 = none); reset by Install.
+int LastTerminationSignal();
+
+// Atomically reads-and-clears the latched signal. The serving loop uses
+// this so a stale latch never stops a *later* daemon in the same process
+// (tests and restart-in-place both run several daemons per process).
+int ConsumeTerminationSignal();
+
+}  // namespace tetrisched
+
+#endif  // TETRISCHED_SERVICE_SIGNALS_H_

@@ -1727,6 +1727,7 @@ SimMetrics Simulator::Run() {
   }
 
   if (exporting) {
+    UpdateProcessMetrics();
     if (!config_.metrics_json_path.empty()) {
       WriteFileOrWarn(config_.metrics_json_path, GlobalMetrics().ToJson());
     }

@@ -1,0 +1,157 @@
+// CLI-behavior tests for the shipped tools (tetrisched_explain,
+// tetrisched_ctl, tetrischedd): strict flag handling — unknown flags,
+// missing values, and unreadable inputs print usage/diagnostics to stderr
+// and exit nonzero. The binaries come from ${CMAKE_BINARY_DIR}/tools via
+// the TETRISCHED_TOOLS_DIR compile definition.
+
+#include <sys/wait.h>
+
+#include <cstdio>
+#include <string>
+
+#include "gtest/gtest.h"
+
+namespace {
+
+struct RunResult {
+  int exit_code = -1;
+  std::string stderr_text;
+};
+
+// Runs a shell command, discarding stdout and capturing stderr.
+RunResult RunRaw(const std::string& raw) {
+  std::string command = raw + " 2>&1 1>/dev/null";
+  FILE* pipe = popen(command.c_str(), "r");
+  RunResult result;
+  if (pipe == nullptr) {
+    return result;
+  }
+  char buffer[512];
+  while (fgets(buffer, sizeof(buffer), pipe) != nullptr) {
+    result.stderr_text += buffer;
+  }
+  int status = pclose(pipe);
+  if (WIFEXITED(status)) {
+    result.exit_code = WEXITSTATUS(status);
+  }
+  return result;
+}
+
+RunResult RunTool(const std::string& tool, const std::string& args) {
+  return RunRaw(std::string(TETRISCHED_TOOLS_DIR) + "/" + tool + " " + args);
+}
+
+TEST(ExplainCliTest, UnknownFlagPrintsUsageAndExits2) {
+  RunResult result = RunTool("tetrisched_explain", "--bogus");
+  EXPECT_EQ(result.exit_code, 2);
+  EXPECT_NE(result.stderr_text.find("unknown argument: --bogus"),
+            std::string::npos);
+  EXPECT_NE(result.stderr_text.find("usage:"), std::string::npos);
+}
+
+TEST(ExplainCliTest, FlagMissingValueExits2) {
+  RunResult result = RunTool("tetrisched_explain", "--file");
+  EXPECT_EQ(result.exit_code, 2);
+  EXPECT_NE(result.stderr_text.find("usage:"), std::string::npos);
+}
+
+TEST(ExplainCliTest, UnreadableFileExits1) {
+  RunResult result =
+      RunTool("tetrisched_explain", "--file /nonexistent/provenance.jsonl");
+  EXPECT_EQ(result.exit_code, 1);
+  EXPECT_FALSE(result.stderr_text.empty());
+}
+
+TEST(ExplainCliTest, NoInputPrintsUsageAndExits2) {
+  RunResult result = RunRaw("env -u TETRISCHED_PROVENANCE_JSONL " +
+                            std::string(TETRISCHED_TOOLS_DIR) +
+                            "/tetrisched_explain");
+  EXPECT_EQ(result.exit_code, 2);
+  EXPECT_NE(result.stderr_text.find("usage:"), std::string::npos);
+}
+
+TEST(ExplainCliTest, HelpExitsZero) {
+  RunResult result = RunTool("tetrisched_explain", "--help");
+  EXPECT_EQ(result.exit_code, 0);
+  EXPECT_NE(result.stderr_text.find("usage:"), std::string::npos);
+}
+
+TEST(CtlCliTest, UnknownCommandExits2) {
+  RunResult result = RunTool("tetrisched_ctl", "frobnicate");
+  EXPECT_EQ(result.exit_code, 2);
+  EXPECT_NE(result.stderr_text.find("unknown command: frobnicate"),
+            std::string::npos);
+  EXPECT_NE(result.stderr_text.find("usage:"), std::string::npos);
+}
+
+TEST(CtlCliTest, UnknownFlagExits2) {
+  RunResult result = RunTool("tetrisched_ctl", "status --bogus");
+  EXPECT_EQ(result.exit_code, 2);
+  EXPECT_NE(result.stderr_text.find("unknown or incomplete argument"),
+            std::string::npos);
+  EXPECT_NE(result.stderr_text.find("usage:"), std::string::npos);
+}
+
+TEST(CtlCliTest, MissingEndpointExits2) {
+  RunResult result = RunTool("tetrisched_ctl", "status");
+  EXPECT_EQ(result.exit_code, 2);
+  EXPECT_NE(result.stderr_text.find("no endpoint"), std::string::npos);
+}
+
+TEST(CtlCliTest, UnreadableSpecFileExits1BeforeConnecting) {
+  // The bad file must fail fast even though no daemon is listening.
+  RunResult result = RunTool(
+      "tetrisched_ctl",
+      "submit --socket /nonexistent/tetrisched.sock --file /nonexistent.json");
+  EXPECT_EQ(result.exit_code, 1);
+  EXPECT_NE(result.stderr_text.find("cannot read spec file"),
+            std::string::npos);
+}
+
+TEST(CtlCliTest, UnreadableStrlFileExits1) {
+  RunResult result = RunTool("tetrisched_ctl",
+                         "submit --socket /nonexistent/tetrisched.sock "
+                         "--strl-file /nonexistent.strl");
+  EXPECT_EQ(result.exit_code, 1);
+  EXPECT_NE(result.stderr_text.find("cannot read STRL file"),
+            std::string::npos);
+}
+
+TEST(CtlCliTest, SubmitWithoutJobShapeExits2) {
+  RunResult result = RunTool("tetrisched_ctl", "submit --socket /tmp/x.sock");
+  EXPECT_EQ(result.exit_code, 2);
+  EXPECT_NE(result.stderr_text.find("submit needs"), std::string::npos);
+}
+
+TEST(CtlCliTest, CancelWithoutJobExits2) {
+  RunResult result = RunTool("tetrisched_ctl", "cancel --socket /tmp/x.sock");
+  EXPECT_EQ(result.exit_code, 2);
+  EXPECT_NE(result.stderr_text.find("cancel needs --job"), std::string::npos);
+}
+
+TEST(CtlCliTest, ConnectFailureExits1) {
+  RunResult result =
+      RunTool("tetrisched_ctl", "status --socket /nonexistent/tetrisched.sock");
+  EXPECT_EQ(result.exit_code, 1);
+  EXPECT_NE(result.stderr_text.find("cannot connect"), std::string::npos);
+}
+
+TEST(CtlCliTest, HelpExitsZero) {
+  RunResult result = RunTool("tetrisched_ctl", "--help");
+  EXPECT_EQ(result.exit_code, 0);
+}
+
+TEST(DaemonCliTest, NoListenerExits2) {
+  RunResult result = RunTool("tetrischedd", "");
+  EXPECT_EQ(result.exit_code, 2);
+  EXPECT_NE(result.stderr_text.find("no listener"), std::string::npos);
+}
+
+TEST(DaemonCliTest, UnknownFlagExits2) {
+  RunResult result = RunTool("tetrischedd", "--bogus");
+  EXPECT_EQ(result.exit_code, 2);
+  EXPECT_NE(result.stderr_text.find("unknown argument: --bogus"),
+            std::string::npos);
+}
+
+}  // namespace

@@ -390,5 +390,44 @@ TEST(DeterminismTest, EnablingExportsDoesNotChangeSchedule) {
   std::remove("metrics_test_export_trace.json");
 }
 
+TEST(ProcessMetricsTest, UptimeAndBuildInfoInBothExports) {
+  UpdateProcessMetrics();
+  MetricsRegistry& registry = GlobalMetrics();
+
+  double uptime =
+      registry.GetGauge("tetrisched_process_uptime_seconds")->value();
+  EXPECT_GT(uptime, 0.0);
+  EXPECT_LT(uptime, 3600.0);  // a test process is not an hour old
+
+  // The build-info gauge follows the Prometheus idiom: constant 1, identity
+  // in the labels.
+  const std::string& name = BuildInfoMetricName();
+  EXPECT_NE(name.find("tetrisched_build_info{"), std::string::npos);
+  EXPECT_NE(name.find("version="), std::string::npos);
+  EXPECT_NE(name.find("compiler="), std::string::npos);
+  EXPECT_NE(name.find("sanitizers="), std::string::npos);
+  EXPECT_EQ(registry.GetGauge(name)->value(), 1.0);
+
+  std::string prom = registry.ToPrometheusText();
+  // The TYPE comment must carry the bare metric name, the sample line the
+  // labeled one.
+  EXPECT_NE(prom.find("# TYPE tetrisched_build_info gauge\n"),
+            std::string::npos);
+  EXPECT_NE(prom.find(name + " 1"), std::string::npos);
+  EXPECT_NE(prom.find("# TYPE tetrisched_process_uptime_seconds gauge"),
+            std::string::npos);
+
+  std::string json = registry.ToJson();
+  ExpectBalancedJson(json);
+  EXPECT_NE(json.find("tetrisched_process_uptime_seconds"),
+            std::string::npos);
+  EXPECT_NE(json.find("tetrisched_build_info"), std::string::npos);
+
+  // A later refresh advances uptime monotonically.
+  UpdateProcessMetrics();
+  EXPECT_GE(registry.GetGauge("tetrisched_process_uptime_seconds")->value(),
+            uptime);
+}
+
 }  // namespace
 }  // namespace tetrisched

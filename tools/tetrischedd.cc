@@ -1,0 +1,149 @@
+// tetrischedd: the TetriSched scheduler as a long-running service
+// (DESIGN.md §16).
+//
+// Usage:
+//   tetrischedd --socket PATH | --port N [--journal DIR]
+//               [--racks R] [--nodes-per-rack N] [--gpu-racks G]
+//               [--cycle-ms MS] [--sim-seconds-per-cycle S]
+//               [--plan-ahead S] [--quantum S]
+//               [--max-queued N] [--admit-per-cycle N] [--max-pending N]
+//               [--idle-timeout-ms MS] [--no-provenance]
+//
+// At least one listener (--socket and/or --port; --port 0 picks a free
+// port, printed on startup) is required. With --journal the daemon
+// journals every acceptance/launch/completion through a write-ahead log
+// in DIR and a SIGTERM/SIGINT triggers drain -> final checkpoint -> clean
+// exit; a restart with the same DIR resumes accepted-but-unfinished jobs.
+// Exit codes: 0 clean shutdown, 1 startup failure, 2 usage errors.
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <memory>
+#include <string>
+
+#include "src/persist/journal.h"
+#include "src/service/daemon.h"
+#include "src/service/signals.h"
+
+namespace {
+
+int Usage(const char* argv0) {
+  std::fprintf(
+      stderr,
+      "usage: %s --socket PATH | --port N [--journal DIR]\n"
+      "          [--racks R] [--nodes-per-rack N] [--gpu-racks G]\n"
+      "          [--cycle-ms MS] [--sim-seconds-per-cycle S]\n"
+      "          [--plan-ahead S] [--quantum S]\n"
+      "          [--max-queued N] [--admit-per-cycle N] [--max-pending N]\n"
+      "          [--idle-timeout-ms MS] [--no-provenance]\n",
+      argv0);
+  return 2;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  tetrisched::DaemonOptions options;
+  std::string journal_dir;
+
+  for (int i = 1; i < argc; ++i) {
+    const char* arg = argv[i];
+    auto next = [&]() -> const char* {
+      return i + 1 < argc ? argv[++i] : nullptr;
+    };
+    auto next_int = [&](int64_t* out) {
+      const char* value = next();
+      if (value == nullptr) {
+        return false;
+      }
+      *out = std::strtoll(value, nullptr, 10);
+      return true;
+    };
+    int64_t n = 0;
+    if (std::strcmp(arg, "--socket") == 0) {
+      const char* value = next();
+      if (value == nullptr) {
+        return Usage(argv[0]);
+      }
+      options.unix_socket_path = value;
+    } else if (std::strcmp(arg, "--port") == 0 && next_int(&n)) {
+      options.tcp_port = static_cast<int>(n);
+    } else if (std::strcmp(arg, "--journal") == 0) {
+      const char* value = next();
+      if (value == nullptr) {
+        return Usage(argv[0]);
+      }
+      journal_dir = value;
+    } else if (std::strcmp(arg, "--racks") == 0 && next_int(&n)) {
+      options.racks = static_cast<int>(n);
+    } else if (std::strcmp(arg, "--nodes-per-rack") == 0 && next_int(&n)) {
+      options.nodes_per_rack = static_cast<int>(n);
+    } else if (std::strcmp(arg, "--gpu-racks") == 0 && next_int(&n)) {
+      options.gpu_racks = static_cast<int>(n);
+    } else if (std::strcmp(arg, "--cycle-ms") == 0 && next_int(&n)) {
+      options.cycle_period_ms = n;
+    } else if (std::strcmp(arg, "--sim-seconds-per-cycle") == 0 &&
+               next_int(&n)) {
+      options.sim_seconds_per_cycle = n;
+    } else if (std::strcmp(arg, "--plan-ahead") == 0 && next_int(&n)) {
+      options.scheduler.plan_ahead = n;
+    } else if (std::strcmp(arg, "--quantum") == 0 && next_int(&n)) {
+      options.scheduler.quantum = n;
+    } else if (std::strcmp(arg, "--max-queued") == 0 && next_int(&n)) {
+      options.admission.max_queued = static_cast<int>(n);
+    } else if (std::strcmp(arg, "--admit-per-cycle") == 0 && next_int(&n)) {
+      options.admission.admit_per_cycle = static_cast<int>(n);
+    } else if (std::strcmp(arg, "--max-pending") == 0 && next_int(&n)) {
+      options.max_pending_jobs = static_cast<int>(n);
+    } else if (std::strcmp(arg, "--idle-timeout-ms") == 0 && next_int(&n)) {
+      options.idle_timeout_ms = n;
+    } else if (std::strcmp(arg, "--no-provenance") == 0) {
+      options.enable_provenance = false;
+    } else if (std::strcmp(arg, "--help") == 0 || std::strcmp(arg, "-h") == 0) {
+      Usage(argv[0]);
+      return 0;
+    } else {
+      std::fprintf(stderr, "unknown argument: %s\n", arg);
+      return Usage(argv[0]);
+    }
+  }
+
+  if (options.unix_socket_path.empty() && options.tcp_port < 0) {
+    std::fprintf(stderr, "no listener: pass --socket and/or --port\n");
+    return Usage(argv[0]);
+  }
+
+  std::unique_ptr<tetrisched::FileJournalStorage> storage;
+  if (!journal_dir.empty()) {
+    storage = std::make_unique<tetrisched::FileJournalStorage>(journal_dir);
+    options.storage = storage.get();
+  }
+
+  tetrisched::SchedulerDaemon daemon(std::move(options));
+  if (!daemon.Start()) {
+    std::fprintf(stderr, "tetrischedd: failed to bind listeners\n");
+    return 1;
+  }
+  if (!tetrisched::InstallTerminationSignalHandlers(daemon.wakeup_fd())) {
+    std::fprintf(stderr, "tetrischedd: failed to install signal handlers\n");
+    return 1;
+  }
+  if (daemon.tcp_port() >= 0) {
+    std::printf("tetrischedd listening on 127.0.0.1:%d\n", daemon.tcp_port());
+  }
+  if (!daemon.options().unix_socket_path.empty()) {
+    std::printf("tetrischedd listening on %s\n",
+                daemon.options().unix_socket_path.c_str());
+  }
+  if (daemon.recovered_pending() + daemon.recovered_running() > 0) {
+    std::printf("tetrischedd resumed %d pending + %d running jobs\n",
+                daemon.recovered_pending(), daemon.recovered_running());
+  }
+  std::fflush(stdout);
+
+  daemon.Run();
+  tetrisched::RestoreDefaultSignalHandlers();
+  std::printf("tetrischedd: clean shutdown\n");
+  return 0;
+}
